@@ -1,0 +1,64 @@
+"""Benchmarks for the extension ablations (DESIGN.md §6)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_concurrency_sweep,
+    format_dispatcher_ablation,
+    format_margin_sweep,
+    format_threshold_sweep,
+    run_concurrency_sweep,
+    run_dispatcher_ablation,
+    run_margin_sweep,
+    run_threshold_sweep,
+)
+
+
+def test_dispatcher_ablation(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_dispatcher_ablation(n_nodes=8, seeds=(11, 23)),
+        rounds=1,
+        iterations=1,
+    )
+    by_label = {r.label: r for r in rows}
+    full = by_label["DQA (full)"].throughput_qpm
+    dns = by_label["DNS (no dispatchers)"].throughput_qpm
+    assert full > dns
+    report("Ablation — scheduling points", format_dispatcher_ablation(rows))
+
+
+def test_concurrency_sweep(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_concurrency_sweep(caps=(1, 2, 3, 4, 6, 8), seeds=(11,)),
+        rounds=1,
+        iterations=1,
+    )
+    thr = [r.throughput_qpm for r in rows]
+    # Section 4.2's shape: throughput rises from 1, peaks at 2-4, and
+    # collapses under memory thrash at high concurrency.
+    assert max(thr[1:4]) > thr[0]
+    assert thr[-1] < max(thr[1:4])
+    report("Ablation — simultaneous questions", format_concurrency_sweep(rows))
+
+
+def test_threshold_sweep(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_threshold_sweep(thresholds=(0.0, 0.668, 2.672), seeds=(11,)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 3
+    report("Ablation — migration threshold", format_threshold_sweep(rows))
+
+
+def test_margin_sweep(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_margin_sweep(margins=(0.5, 1.1, 2.0), n_questions=6),
+        rounds=1,
+        iterations=1,
+    )
+    # Larger margins partition more eagerly: low-load response must not
+    # get worse as the margin grows.
+    responses = [resp for _margin, resp, _thr in rows]
+    assert responses[-1] <= responses[0] * 1.05
+    report("Ablation — under-load margin", format_margin_sweep(rows))

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 10 — RECV AP speedup vs chunk size."""
+
+from repro.experiments.partitioning_exp import format_fig10, run_fig10
+
+
+def test_fig10_chunk_size(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: run_fig10(
+            chunk_sizes=(5, 10, 20, 40, 60, 80, 100),
+            node_counts=(4, 8),
+            n_questions=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for name, pts in series.items():
+        speedups = [y for _, y in pts]
+        best = max(range(len(pts)), key=lambda i: speedups[i])
+        # Interior optimum: neither the smallest nor the largest chunk.
+        assert 0 < best < len(pts) - 1, f"{name}: no interior optimum"
+    report("Figure 10 — chunk-size sweep", format_fig10(series))

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 7 — execution traces for the three
+partitioning strategies on a homogeneous 4-node cluster."""
+
+from repro.core import PartitioningStrategy
+from repro.experiments.figures import run_fig7_trace
+
+
+def test_fig7_traces(benchmark, report):
+    def traces():
+        return {
+            s: run_fig7_trace(s)
+            for s in (
+                PartitioningStrategy.SEND,
+                PartitioningStrategy.ISEND,
+                PartitioningStrategy.RECV,
+            )
+        }
+
+    result = benchmark.pedantic(traces, rounds=1, iterations=1)
+    for strategy, text in result.items():
+        assert "pr-collection" in text
+        assert "ap-part" in text
+    report(
+        "Figure 7 — execution traces",
+        "\n\n".join(result[s] for s in result),
+    )

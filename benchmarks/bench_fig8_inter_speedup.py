@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 8(a) — analytical system speedup."""
+
+import pytest
+
+from repro.experiments.figures import format_fig8, run_fig8
+from repro.model import ModelParameters, system_efficiency
+
+
+def test_fig8_inter_speedup(benchmark, report):
+    series = benchmark(run_fig8)
+    # Section 5.1's headline: ~0.9 efficiency at 1000 nodes on 1 Gbps.
+    eff = system_efficiency(
+        ModelParameters().with_bandwidths(b_net=1e9), 1000
+    )
+    assert eff == pytest.approx(0.9, abs=0.05)
+    # Curves ordered by bandwidth at every x.
+    for (x1, y_slow), (_x2, y_fast) in zip(series["10 Mbps"], series["1 Gbps"]):
+        assert y_fast >= y_slow
+    report("Figure 8 — system speedup vs processors", format_fig8(series))

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 9 — analytical question speedup curves."""
+
+from repro.experiments.figures import format_fig9, run_fig9
+
+
+def test_fig9_intra_speedup(benchmark, report):
+    panels = benchmark(run_fig9)
+    panel_a, panel_b = panels
+    # (a) speedup increases with network bandwidth.
+    assert panel_a["1 Gbps"][-1][1] > panel_a["1 Mbps"][-1][1]
+    # (b) speedup *decreases* as disk bandwidth increases — the paper's
+    # counterintuitive Figure 9(b) result.
+    assert panel_b["100 Mbps"][-1][1] > panel_b["1 Gbps"][-1][1]
+    report("Figure 9 — question speedup curves", format_fig9(panels))

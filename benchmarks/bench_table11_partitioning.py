@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table 11 — SEND/ISEND/RECV AP speedups."""
+
+from repro.experiments.partitioning_exp import format_table11, run_table11
+
+
+def test_table11_partitioning(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_table11(node_counts=(4, 8, 12), n_questions=10),
+        rounds=1,
+        iterations=1,
+    )
+    for r in rows:
+        assert r.send < r.isend, f"SEND must trail ISEND at {r.n_nodes} procs"
+        assert r.send < r.recv, f"SEND must trail RECV at {r.n_nodes} procs"
+    report("Table 11 — partitioning strategies", format_table11(rows))

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table 1 — example answers from the real pipeline."""
+
+from repro.experiments.table1_examples import format_table1, run_table1
+
+
+def test_table1_examples(benchmark, report):
+    examples = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    assert sum(e.correct for e in examples) >= len(examples) - 1
+    report("Table 1 — example answers", format_table1(examples))

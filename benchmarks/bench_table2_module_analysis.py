@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 2 — per-module analysis of the Q/A task."""
+
+import pytest
+
+from repro.experiments.table2_module_analysis import format_table2, run_table2
+
+
+def test_table2_module_analysis(benchmark, report):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    frac = {r.module: r.fraction for r in rows}
+    assert frac["AP"] == pytest.approx(0.697, abs=0.06)
+    assert frac["PR"] == pytest.approx(0.265, abs=0.06)
+    report("Table 2 — module analysis", format_table2(rows))

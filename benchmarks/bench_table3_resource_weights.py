@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 3 — per-module resource weights."""
+
+import pytest
+
+from repro.experiments.table3_resource_weights import format_table3, run_table3
+
+
+def test_table3_resource_weights(benchmark, report):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    by_module = {r.module: r for r in rows}
+    assert by_module["QA"].cpu_weight == pytest.approx(0.79, abs=0.06)
+    assert by_module["PR"].disk_weight == pytest.approx(0.80, abs=0.05)
+    report("Table 3 — resource weights", format_table3(rows))

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 4 — analytical processor limits grid."""
+
+from repro.experiments.table4_upper_limits import format_table4, run_table4
+from repro.model import PAPER_TABLE4_N
+
+
+def test_table4_upper_limits(benchmark, report):
+    grid = benchmark(run_table4)
+    exact = sum(
+        cell.n_max == PAPER_TABLE4_N[(cell.b_disk_label, cell.b_net_label)]
+        for cell in grid
+    )
+    assert exact >= 14
+    report("Table 4 — practical upper limits", format_table4(grid))

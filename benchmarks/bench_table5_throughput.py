@@ -1,0 +1,30 @@
+"""Benchmark regenerating Tables 5-7 — the high-load strategy comparison.
+
+One simulation campaign produces all three tables (the paper's Tables 5,
+6 and 7 come from the same runs); the sibling bench files render the
+latency and migration views of the same cached results.
+"""
+
+import functools
+
+import pytest
+
+from repro.experiments.load_balancing import (
+    format_tables_5_6_7,
+    run_load_balancing,
+)
+
+
+@functools.lru_cache(maxsize=1)
+def _cells():
+    return tuple(run_load_balancing(node_counts=(4, 8, 12), seeds=(11, 23)))
+
+
+def test_table5_throughput(benchmark, report):
+    cells = benchmark.pedantic(_cells, rounds=1, iterations=1)
+    by_key = {(c.n_nodes, c.strategy): c for c in cells}
+    for n in (4, 8, 12):
+        dns = by_key[(n, "DNS")].throughput_qpm
+        dqa = by_key[(n, "DQA")].throughput_qpm
+        assert dqa > dns, f"DQA must beat DNS at {n} processors"
+    report("Tables 5-7 — load-balancing comparison", format_tables_5_6_7(list(cells)))

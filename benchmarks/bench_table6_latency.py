@@ -1,0 +1,19 @@
+"""Benchmark view of Table 6 — response times under the three strategies.
+
+Reuses the cached Tables 5-7 campaign (see bench_table5_throughput).
+"""
+
+from bench_table5_throughput import _cells
+
+
+def test_table6_latency(benchmark, report):
+    cells = benchmark.pedantic(_cells, rounds=1, iterations=1)
+    by_key = {(c.n_nodes, c.strategy): c for c in cells}
+    rows = ["Procs  DNS      INTER    DQA     (mean response, s)"]
+    for n in (4, 8, 12):
+        dns = by_key[(n, "DNS")].mean_response_s
+        inter = by_key[(n, "INTER")].mean_response_s
+        dqa = by_key[(n, "DQA")].mean_response_s
+        assert dqa <= dns * 1.02, "DQA response must not exceed DNS's"
+        rows.append(f"{n:5d}  {dns:7.2f}  {inter:7.2f}  {dqa:7.2f}")
+    report("Table 6 — response times", "\n".join(rows))

@@ -1,0 +1,22 @@
+"""Benchmark view of Table 7 — migrations at the three scheduling points.
+
+Reuses the cached Tables 5-7 campaign (see bench_table5_throughput).
+"""
+
+from bench_table5_throughput import _cells
+
+
+def test_table7_migrations(benchmark, report):
+    cells = benchmark.pedantic(_cells, rounds=1, iterations=1)
+    by_key = {(c.n_nodes, c.strategy): c for c in cells}
+    rows = ["Workload        DQA QA   DQA PR   DQA AP"]
+    for n in (4, 8, 12):
+        dqa = by_key[(n, "DQA")]
+        # The PR and AP dispatchers must be visibly active under DQA.
+        assert dqa.migrations_pr > 0
+        assert dqa.migrations_ap > 0
+        rows.append(
+            f"{8*n:3d} q / {n:2d} p   {dqa.migrations_qa:6.1f}  "
+            f"{dqa.migrations_pr:7.1f}  {dqa.migrations_ap:7.1f}"
+        )
+    report("Table 7 — migrations", "\n".join(rows))

@@ -1,0 +1,51 @@
+"""Benchmark regenerating Tables 8-10 — intra-question parallelism.
+
+One low-load campaign (complex questions, one at a time, RECV
+partitioning) yields the module times (T8), overhead breakdown (T9) and
+analytical-vs-measured speedups (T10).
+"""
+
+import functools
+
+import pytest
+
+from repro.experiments.intra_question_exp import (
+    format_table8,
+    format_table9,
+    format_table10,
+    run_intra_question,
+)
+
+
+@functools.lru_cache(maxsize=1)
+def _rows():
+    return tuple(run_intra_question(node_counts=(1, 4, 8, 12), n_questions=12))
+
+
+def test_table8_module_times(benchmark, report):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    by_n = {r.n_nodes: r for r in rows}
+    # PR flat from 8 to 12 (8 sub-collections), AP still improving.
+    assert by_n[12].module_times["PR"] == pytest.approx(
+        by_n[8].module_times["PR"], rel=0.02
+    )
+    assert by_n[12].module_times["AP"] < by_n[8].module_times["AP"]
+    report("Table 8 — module times", format_table8(list(rows)))
+
+
+def test_table9_overhead(benchmark, report):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    for r in rows:
+        if r.n_nodes == 1:
+            continue
+        assert sum(r.overhead.values()) < 0.06 * r.response_s
+    report("Table 9 — distribution overhead", format_table9(list(rows)))
+
+
+def test_table10_model_vs_measured(benchmark, report):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    for r in rows:
+        if r.n_nodes == 1:
+            continue
+        assert r.measured_speedup < r.analytical_speedup
+    report("Table 10 — analytical vs measured", format_table10(list(rows)))

@@ -1,0 +1,83 @@
+"""Capacity planning with the analytical model (Section 5 in practice).
+
+A downstream deployment question the paper's model answers directly: given
+the hardware you can buy (network + disk bandwidth) and a latency/
+throughput goal, how many nodes are worth deploying, and what do you get?
+
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.model import (
+    ModelParameters,
+    bandwidth_bps,
+    practical_processor_limit,
+    question_speedup,
+    question_time,
+    system_efficiency,
+    system_speedup,
+)
+
+
+def plan(net: str, disk: str, latency_goal_s: float) -> None:
+    p = ModelParameters().with_bandwidths(
+        b_net=bandwidth_bps(net), b_disk=bandwidth_bps(disk)
+    )
+    n_max = practical_processor_limit(p)
+    print(f"--- {net} network, {disk} disks ---")
+    print(f"  sequential question time : {p.t_sequential:7.1f} s")
+    print(f"  practical node limit     : {n_max} (Eq 34)")
+    print(
+        f"  latency at that limit    : {question_time(p, n_max):7.1f} s "
+        f"(speedup {question_speedup(p, n_max):.1f}x)"
+    )
+
+    # Smallest cluster meeting the latency goal, if feasible.
+    feasible = None
+    for n in range(1, n_max + 1):
+        if question_time(p, n) <= latency_goal_s:
+            feasible = n
+            break
+    if feasible is None:
+        print(
+            f"  latency goal {latency_goal_s:.0f} s: NOT reachable by "
+            "partitioning alone (sequential overhead floor too high)"
+        )
+    else:
+        print(f"  latency goal {latency_goal_s:.0f} s: reachable with {feasible} nodes")
+
+    # Throughput side: inter-question scaling at a few farm sizes.
+    for n in (10, 100, 1000):
+        s = system_speedup(p, n)
+        e = system_efficiency(p, n)
+        qpm = 60.0 * s / p.t_question
+        print(
+            f"  farm of {n:4d} nodes       : throughput {qpm:8.1f} q/min "
+            f"(efficiency {e:.2f})"
+        )
+    print()
+
+
+def main() -> None:
+    print(
+        "Capacity planning for an interactive Q/A service "
+        "(goal: 20 s per question)\n"
+    )
+    for net, disk in (
+        ("100 Mbps", "250 Mbps"),  # the paper's testbed class
+        ("1 Gbps", "250 Mbps"),
+        ("1 Gbps", "1 Gbps"),
+    ):
+        plan(net, disk, latency_goal_s=20.0)
+
+    print(
+        "Note the paper's twin conclusions: intra-question parallelism is\n"
+        "worth it only up to ~11-93 nodes depending on bandwidths (Table 4),\n"
+        "while inter-question parallelism keeps scaling to 1000 nodes at\n"
+        "~0.9 efficiency on a fast network (Figure 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

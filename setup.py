@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, which the
+PEP-517 editable-install path requires. `python setup.py develop` achieves
+the same editable install with plain setuptools."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — reproduction of "Performance Analysis of a Distributed
+Question/Answering System" (Surdeanu, Moldovan, Harabagiu — IPPS 2001).
+
+Public API overview
+-------------------
+* :mod:`repro.qa` — the sequential Falcon-like Q/A pipeline, its cost
+  model and question profiles.
+* :mod:`repro.core` — the paper's contribution: the distributed Q/A
+  architecture (dispatchers, meta-scheduler, SEND/ISEND/RECV
+  partitioning, load monitoring) on a simulated cluster.
+* :mod:`repro.model` — the Section 5 analytical performance model.
+* :mod:`repro.simulation` — the discrete-event simulation substrate.
+* :mod:`repro.corpus`, :mod:`repro.retrieval`, :mod:`repro.nlp` — the
+  corpus / Boolean IR / NLP substrates the pipeline runs on.
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro.corpus import generate_corpus, generate_questions
+>>> from repro.retrieval import IndexedCorpus
+>>> from repro.nlp import EntityRecognizer
+>>> from repro.qa import QAPipeline
+>>> corpus = generate_corpus()
+>>> pipeline = QAPipeline(
+...     IndexedCorpus(corpus),
+...     EntityRecognizer(corpus.knowledge.gazetteer(),
+...                      extra_nationalities=corpus.knowledge.nationalities),
+... )
+>>> question = generate_questions(corpus)[0]
+>>> result = pipeline.answer(question.text)
+>>> # result.answers[0].text is the extracted answer
+"""
+
+from .core import (
+    DistributedQASystem,
+    PartitioningStrategy,
+    Strategy,
+    SystemConfig,
+    TaskPolicy,
+)
+from .corpus import Corpus, CorpusConfig, generate_corpus, generate_questions
+from .model import ModelParameters
+from .nlp import EntityRecognizer
+from .qa import (
+    CostModel,
+    QAPipeline,
+    QuestionProfile,
+    SyntheticProfileGenerator,
+    SyntheticProfileParams,
+    profile_question,
+)
+from .retrieval import IndexedCorpus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "CostModel",
+    "DistributedQASystem",
+    "EntityRecognizer",
+    "IndexedCorpus",
+    "ModelParameters",
+    "PartitioningStrategy",
+    "QAPipeline",
+    "QuestionProfile",
+    "Strategy",
+    "SyntheticProfileGenerator",
+    "SyntheticProfileParams",
+    "SystemConfig",
+    "TaskPolicy",
+    "__version__",
+    "generate_corpus",
+    "generate_questions",
+    "profile_question",
+]

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+ask         answer a free-form question over the generated corpus
+simulate    run a workload on the simulated distributed cluster
+model       analytical capacity planning for given bandwidths
+experiments regenerate any of the paper's tables/figures (see
+            ``python -m repro.experiments.runner``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as t
+
+__all__ = ["main"]
+
+
+def _cmd_ask(args: argparse.Namespace) -> None:
+    from .experiments.context import default_context
+
+    ctx = default_context()
+    result = ctx.pipeline.answer(args.question)
+    if not result.answers:
+        print("No answer found.")
+        return
+    print(f"Answer type : {result.processed.answer_type.value}")
+    print(
+        "Keywords    : "
+        + ", ".join(k.text for k in result.processed.keywords)
+    )
+    print(f"Paragraphs  : {result.n_retrieved} retrieved, {result.n_accepted} accepted")
+    print("\nTop answers:")
+    for i, answer in enumerate(result.answers, 1):
+        print(f"  {i}. {answer.text}  (score {answer.score:.2f})")
+        print(f"     ...{answer.short}...")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    from .core import DistributedQASystem, Strategy, SystemConfig
+    from .workload import (
+        high_load_count,
+        staggered_arrivals,
+        summarize_latencies,
+        trec_mix_profiles,
+    )
+
+    n_questions = args.questions or high_load_count(args.nodes)
+    profiles = trec_mix_profiles(n_questions, seed=args.seed)
+    arrivals = staggered_arrivals(n_questions, args.stagger, seed=args.seed)
+    system = DistributedQASystem(
+        SystemConfig(
+            n_nodes=args.nodes,
+            strategy=Strategy[args.strategy],
+            seed=args.seed,
+        )
+    )
+    report = system.run_workload(profiles, arrivals)
+    print(
+        f"{args.strategy} on {args.nodes} nodes, {n_questions} questions "
+        f"(seed {args.seed}):"
+    )
+    print(f"  throughput : {report.throughput_qpm:.2f} questions/min")
+    print(f"  makespan   : {report.makespan_s:.1f} s")
+    print(f"  response   : {summarize_latencies(report)}")
+    print(
+        f"  migrations : QA {report.migrations_qa}, PR {report.migrations_pr},"
+        f" AP {report.migrations_ap}"
+    )
+
+
+def _cmd_model(args: argparse.Namespace) -> None:
+    from .model import (
+        ModelParameters,
+        bandwidth_bps,
+        practical_processor_limit,
+        question_speedup,
+        question_time,
+        system_efficiency,
+    )
+
+    p = ModelParameters().with_bandwidths(
+        b_net=bandwidth_bps(args.net), b_disk=bandwidth_bps(args.disk)
+    )
+    n_max = practical_processor_limit(p)
+    print(f"Analytical model @ net={args.net}, disk={args.disk}:")
+    print(f"  sequential question time      : {p.t_sequential:.1f} s")
+    print(f"  practical processor limit     : {n_max}")
+    print(
+        f"  question time / speedup there : {question_time(p, n_max):.1f} s /"
+        f" {question_speedup(p, n_max):.1f}x"
+    )
+    for n in (10, 100, 1000):
+        print(f"  system efficiency at {n:5d}    : {system_efficiency(p, n):.3f}")
+
+
+def _cmd_experiments(args: argparse.Namespace) -> None:
+    from .experiments.runner import run_all
+
+    run_all(args.names or None)
+
+
+def main(argv: t.Sequence[str] | None = None) -> None:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Q/A system reproduction (IPPS 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ask = sub.add_parser("ask", help="answer a question over the demo corpus")
+    ask.add_argument("question", help="natural-language question text")
+    ask.set_defaults(func=_cmd_ask)
+
+    sim = sub.add_parser("simulate", help="run a simulated cluster workload")
+    sim.add_argument("--nodes", type=int, default=8)
+    sim.add_argument(
+        "--strategy", choices=["DNS", "INTER", "DQA"], default="DQA"
+    )
+    sim.add_argument(
+        "--questions", type=int, default=None,
+        help="question count (default: the 8N high-load protocol)",
+    )
+    sim.add_argument("--stagger", type=float, default=2.0)
+    sim.add_argument("--seed", type=int, default=11)
+    sim.set_defaults(func=_cmd_simulate)
+
+    model = sub.add_parser("model", help="analytical capacity planning")
+    model.add_argument("--net", default="100 Mbps", help='e.g. "1 Gbps"')
+    model.add_argument("--disk", default="250 Mbps", help='e.g. "250 Mbps"')
+    model.set_defaults(func=_cmd_model)
+
+    exp = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    exp.add_argument("names", nargs="*", help="subset (default: all)")
+    exp.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

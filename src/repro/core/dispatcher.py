@@ -1,0 +1,93 @@
+"""The question dispatcher (Section 3.1).
+
+Runs once per question, before the Q/A task starts, to correct the DNS
+round-robin placement: "If the DNS-allocated node is over-loaded, the
+dispatcher migrates the Q/A task to another node ...  The dispatcher's
+strategy is to select the processor with the smallest average load for the
+Q/A task.  To avoid useless migrations, a question is migrated only if the
+difference between the load of the source node and the load of the
+destination node is greater than the average workload of a single
+question."
+
+The dispatcher sees only its node's (stale) load table.  After deciding,
+it optimistically bumps the local table entry for the chosen node so that
+several questions dispatched from the same node within one broadcast
+interval do not all stampede to the same target.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import replace
+
+from .load import QA_WEIGHTS, LoadSnapshot, load_function, single_task_load
+from .monitor import MonitoringSystem
+
+__all__ = ["QuestionDispatcher"]
+
+
+class QuestionDispatcher:
+    """Pre-task migration decisions (the INTER scheduling point)."""
+
+    def __init__(
+        self,
+        monitoring: MonitoringSystem,
+        migration_threshold: float | None = None,
+    ) -> None:
+        self.monitoring = monitoring
+        #: The "average workload of a single question" in load-function
+        #: units; defaults to the load a lone average Q/A task produces.
+        self.migration_threshold = (
+            single_task_load(QA_WEIGHTS)
+            if migration_threshold is None
+            else migration_threshold
+        )
+        self.decisions = 0
+        self.migrations = 0
+
+    @staticmethod
+    def qa_load(snap: LoadSnapshot) -> float:
+        """The dispatcher's Eq-1 load for a node.
+
+        Every *hosted* question (running or queued) contributes one
+        average-question load — on the paper's system all of them are live
+        processes that the Unix load averages count; under admission
+        control the commitment must be reconstructed from the hosted
+        count.  The instantaneous measured load only breaks ties, so that
+        phase noise (a question momentarily in its disk phase) does not
+        trigger migrations.
+        """
+        commitment = snap.n_questions * single_task_load(QA_WEIGHTS)
+        measured = load_function(QA_WEIGHTS, snap)
+        return commitment + 0.01 * measured
+
+    def choose(self, host_id: int) -> int:
+        """Return the node that should run a question starting at ``host_id``.
+
+        Returns ``host_id`` itself when no migration is warranted.
+        """
+        self.decisions += 1
+        table = self.monitoring.view(host_id)
+        host_snap = table.get(host_id)
+        if host_snap is None:  # pragma: no cover - host always sees itself
+            return host_id
+        loads = {nid: self.qa_load(snap) for nid, snap in table.items()}
+        best = min(loads, key=lambda nid: (loads[nid], nid))
+        if best == host_id:
+            return host_id
+        if loads[host_id] - loads[best] <= self.migration_threshold:
+            return host_id
+        self.migrations += 1
+        self._note_assignment(host_id, best)
+        return best
+
+    def _note_assignment(self, observer: int, target: int) -> None:
+        """Optimistically account one more question on ``target`` in the
+        observer's local table (refreshed by the next broadcast)."""
+        table = self.monitoring.tables[observer]
+        snap = table[target]
+        table[target] = replace(
+            snap,
+            n_questions=snap.n_questions + 1,
+            n_waiting=snap.n_waiting + 1,
+        )

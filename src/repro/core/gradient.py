@@ -1,0 +1,129 @@
+"""The gradient-model load balancer (Lin & Keller [23]; also [25, 28]).
+
+The first alternative the paper's related work lists: each node carries a
+*gradient* — its hop distance to the nearest under-loaded node over a
+logical topology.  Over-loaded nodes push queued work one hop down the
+gradient surface; work migrates hop by hop until it reaches an
+under-loaded node.
+
+We implement it over a configurable logical ring (the physical star
+Ethernet has no topology, so a logical neighborhood is imposed, as
+gradient implementations on bus networks did).  The balancer reuses the
+admission-queue claim mechanism: a pushed question is failed out of its
+queue with :class:`~repro.core.node.Stolen` and re-enqueues at the
+neighbor, possibly being pushed again on the next tick.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..simulation.engine import Environment
+from ..simulation.events import Event
+from .node import ClusterNode
+
+__all__ = ["GradientBalancer", "ring_topology", "compute_gradients"]
+
+#: Gradient value meaning "no under-loaded node reachable".
+_INFINITY = 10**6
+
+
+def ring_topology(n_nodes: int) -> dict[int, list[int]]:
+    """A bidirectional logical ring (each node has two neighbors)."""
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    if n_nodes == 1:
+        return {0: []}
+    return {
+        i: sorted({(i - 1) % n_nodes, (i + 1) % n_nodes} - {i})
+        for i in range(n_nodes)
+    }
+
+
+def compute_gradients(
+    underloaded: t.Mapping[int, bool],
+    topology: t.Mapping[int, t.Sequence[int]],
+) -> dict[int, int]:
+    """The gradient surface: hop distance to the nearest under-loaded node.
+
+    Bellman-Ford relaxation over the logical topology; nodes with no
+    under-loaded node in their component get a large sentinel value.
+    """
+    gradient = {
+        nid: 0 if underloaded.get(nid, False) else _INFINITY
+        for nid in topology
+    }
+    for _ in range(max(1, len(topology) - 1)):
+        changed = False
+        for nid, neighbors in topology.items():
+            if gradient[nid] == 0:
+                continue
+            best = min(
+                (gradient[nbr] + 1 for nbr in neighbors), default=_INFINITY
+            )
+            if best < gradient[nid]:
+                gradient[nid] = best
+                changed = True
+        if not changed:
+            break
+    return gradient
+
+
+class GradientBalancer:
+    """Periodic gradient-model balancing over a node set."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: t.Mapping[int, ClusterNode],
+        topology: t.Mapping[int, t.Sequence[int]] | None = None,
+        interval_s: float = 0.5,
+    ) -> None:
+        self.env = env
+        self.nodes = dict(nodes)
+        self.topology = dict(topology or ring_topology(len(nodes)))
+        self.interval_s = interval_s
+        self.pushes = 0
+        self._proc = env.process(self._run(), name="gradient-balancer")
+
+    # -- state classification -------------------------------------------------------
+    def _is_underloaded(self, node: ClusterNode) -> bool:
+        return (
+            node.up
+            and node.waiting_questions == 0
+            and node.running_questions < node.config.max_concurrent_questions
+        )
+
+    def _is_overloaded(self, node: ClusterNode) -> bool:
+        return node.up and node.waiting_questions > 0
+
+    # -- the balancing tick --------------------------------------------------------
+    def tick(self) -> int:
+        """One balancing round; returns the number of questions pushed."""
+        underloaded = {
+            nid: self._is_underloaded(node) for nid, node in self.nodes.items()
+        }
+        gradient = compute_gradients(underloaded, self.topology)
+        pushed = 0
+        for nid, node in self.nodes.items():
+            if not self._is_overloaded(node):
+                continue
+            live_neighbors = [
+                nbr for nbr in self.topology.get(nid, ()) if self.nodes[nbr].up
+            ]
+            if not live_neighbors:
+                continue
+            target = min(live_neighbors, key=lambda nbr: (gradient[nbr], nbr))
+            # Push only strictly downhill — the gradient model's stability
+            # condition (otherwise work ping-pongs on flat surfaces).
+            if gradient[target] + 1 > gradient[nid]:
+                continue
+            if node.steal_waiter(target):
+                pushed += 1
+        self.pushes += pushed
+        return pushed
+
+    def _run(self) -> t.Generator[Event, object, None]:
+        while True:
+            yield self.env.timeout(self.interval_s)
+            self.tick()

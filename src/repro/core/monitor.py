@@ -1,0 +1,162 @@
+"""Distributed load monitoring (Section 3.1).
+
+"Periodically each load monitor updates its local CPU and disk load and
+broadcasts the information on the local interconnection network.  Thus
+every processor is aware not only of its own load but of the load of every
+other active processor ...  if load information is not received from a
+processor in a predefined time, that processor is removed from the system
+pool.  A processor automatically joins the pool when it starts
+broadcasting load information."
+
+Each node runs a :class:`LoadMonitor` process; broadcasts consume real
+(simulated) network bandwidth, so monitoring overhead scales with node
+count exactly as the analytical model's ``S_load * N / B_net`` term says.
+Peer tables are per-node and only as fresh as the last received broadcast
+— scheduling decisions operate on stale data, as in reality.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..simulation.engine import Environment
+from ..simulation.events import Event
+from ..simulation.network import Network
+from .load import LoadSnapshot
+from .node import ClusterNode
+
+__all__ = ["LoadMonitor", "MonitoringSystem"]
+
+
+class LoadMonitor:
+    """The per-node load monitoring process."""
+
+    def __init__(
+        self,
+        system: "MonitoringSystem",
+        node: ClusterNode,
+        interval_s: float = 1.0,
+        packet_bytes: float = 512.0,
+        measure_cpu_s: float = 0.001,
+    ) -> None:
+        self.system = system
+        self.node = node
+        self.interval_s = interval_s
+        self.packet_bytes = packet_bytes
+        self.measure_cpu_s = measure_cpu_s
+        self.broadcasts = 0
+        self._proc = node.env.process(
+            self._run(), name=f"load-monitor[{node.node_id}]"
+        )
+
+    def _run(self) -> t.Generator[Event, object, None]:
+        env = self.node.env
+        checkpoints = self.node.load_checkpoints()
+        while True:
+            yield env.timeout(self.interval_s)
+            if not self.node.up:
+                continue
+            # (i) inspect the kernel for the local load.  The report
+            # blends the window average with the instantaneous state so
+            # that a node that just went idle (or just got busy) is not
+            # misjudged for a whole broadcast interval.
+            yield from self.node.run_cpu(self.measure_cpu_s)
+            cpu_win, disk_win = self.node.loads_since(checkpoints)
+            checkpoints = self.node.load_checkpoints()
+            cpu_load = 0.5 * cpu_win + 0.5 * self.node.cpu.active_jobs.value
+            disk_load = 0.5 * disk_win + 0.5 * self.node.disk.active_jobs.value
+            snapshot = LoadSnapshot(
+                node_id=self.node.node_id,
+                cpu_load=cpu_load,
+                disk_load=disk_load,
+                n_questions=self.node.active_questions,
+                timestamp=env.now,
+                n_waiting=self.node.waiting_questions,
+            )
+            # (ii) broadcast on the interconnection network
+            yield from self.system.network.broadcast(
+                self.node.node_id, self.packet_bytes
+            )
+            # (iii) peers store the received load information
+            self.system.deliver(snapshot)
+            self.broadcasts += 1
+
+
+class MonitoringSystem:
+    """All nodes' load tables plus the membership protocol."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        nodes: t.Sequence[ClusterNode],
+        interval_s: float = 1.0,
+        packet_bytes: float = 512.0,
+        membership_timeout_s: float = 3.0,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.nodes = {n.node_id: n for n in nodes}
+        self.membership_timeout_s = membership_timeout_s
+        #: observer_node_id -> {observed_node_id: snapshot}
+        self.tables: dict[int, dict[int, LoadSnapshot]] = {
+            n.node_id: {} for n in nodes
+        }
+        self.monitors = [
+            LoadMonitor(self, n, interval_s=interval_s, packet_bytes=packet_bytes)
+            for n in nodes
+        ]
+        # Seed tables with idle snapshots so dispatch works before the
+        # first broadcast round.
+        for nid in self.tables:
+            for other in self.tables:
+                self.tables[nid][other] = LoadSnapshot(
+                    node_id=other,
+                    cpu_load=0.0,
+                    disk_load=0.0,
+                    n_questions=0,
+                    timestamp=0.0,
+                )
+
+    def deliver(self, snapshot: LoadSnapshot) -> None:
+        """A broadcast arrived: every up node (and the sender) records it."""
+        for nid, node in self.nodes.items():
+            if node.up or nid == snapshot.node_id:
+                self.tables[nid][snapshot.node_id] = snapshot
+
+    def view(self, observer: int) -> dict[int, LoadSnapshot]:
+        """The live-membership load table as seen by ``observer``.
+
+        Entries older than the membership timeout are dropped — that node
+        has left the pool as far as ``observer`` is concerned.  The
+        observer sees *itself* live (local kernel state costs nothing),
+        peers through their last broadcast.
+        """
+        now = self.env.now
+        fresh: dict[int, LoadSnapshot] = {}
+        for nid, snap in self.tables[observer].items():
+            if nid == observer:
+                fresh[nid] = self.live_snapshot(observer)
+            elif now - snap.timestamp <= self.membership_timeout_s:
+                fresh[nid] = snap
+        return fresh
+
+    def live_snapshot(self, node_id: int) -> LoadSnapshot:
+        """A snapshot of a node's *current* state (not broadcast-delayed).
+
+        Instantaneous resource loads are the current active-job counts;
+        question counters are exact.
+        """
+        node = self.nodes[node_id]
+        return LoadSnapshot(
+            node_id=node_id,
+            cpu_load=node.cpu.active_jobs.value,
+            disk_load=node.disk.active_jobs.value,
+            n_questions=node.active_questions,
+            timestamp=self.env.now,
+            n_waiting=node.waiting_questions,
+        )
+
+    def local_snapshot(self, node_id: int) -> LoadSnapshot:
+        """The node's latest view of itself."""
+        return self.tables[node_id][node_id]

@@ -1,0 +1,562 @@
+"""The distributed Q/A task (Figure 3).
+
+Executes one :class:`~repro.qa.profiles.QuestionProfile` on the simulated
+cluster, driving the full low-level architecture:
+
+    QP -> [PR dispatcher] -> PR(1..k) -> PS(1..k) -> paragraph merging
+       -> PO -> [AP dispatcher] -> AP(1..n) -> answer merging -> sorting
+
+with three scheduling points (question dispatcher handled by the system
+before the task starts; PR and AP dispatchers embedded here), the three
+partitioning strategies, failure recovery, and full per-module /
+per-overhead-component accounting (Tables 8 and 9).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field, replace
+
+from ..qa.profiles import CollectionProfile, ParagraphProfile, QuestionProfile
+from ..simulation.events import Event
+from ..simulation.network import TransferFailed
+from .load import AP_WEIGHTS, PR_WEIGHTS, single_task_load
+from .node import NodeDown, Stolen
+from .meta_scheduler import Assignment, meta_schedule
+from .partitioning import (
+    PartitionAbort,
+    PartitioningStrategy,
+    WorkerFailed,
+    run_receiver_controlled,
+    run_sender_controlled,
+)
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from .system import DistributedQASystem
+
+__all__ = ["TaskPolicy", "TaskResult", "DistributedQATask"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskPolicy:
+    """Scheduling policy knobs for one task (usually system-wide).
+
+    ``enable_*`` flags decompose the DNS / INTER / DQA strategies and
+    support the ablation experiments.
+    """
+
+    enable_question_dispatch: bool = True
+    enable_pr_dispatch: bool = True
+    enable_ap_dispatch: bool = True
+    enable_partitioning: bool = True
+    pr_strategy: PartitioningStrategy = PartitioningStrategy.RECV
+    ap_strategy: PartitioningStrategy = PartitioningStrategy.RECV
+    #: RECV chunk sizes: PR chunks are sub-collections; AP chunks are
+    #: paragraphs (Fig 10's empirical optimum is ~40).
+    pr_chunk_collections: int = 1
+    ap_chunk_paragraphs: int = 40
+    #: Extension: size AP chunks as n_accepted/(chunks_per_node * width)
+    #: instead of a fixed count, so wide partitions keep enough chunks for
+    #: the pull-based balancing to work (Fig 10's trade-off, automated).
+    ap_chunk_adaptive: bool = False
+    ap_chunks_per_node: int = 4
+    #: Under-load margins slightly above 1.0 tolerate the measurement
+    #: artifact where a node's last monitoring window catches the CPU tail
+    #: of its previous sub-task (Section 4.2 calls these empirical).
+    pr_underload_margin: float = 1.1
+    ap_underload_margin: float = 1.1
+    #: Fixed per-chunk/partition AP cost: each AP replica must extract and
+    #: rank its local n_a answers ("a constant number of answers must be
+    #: extracted from each chunk", Section 4.1.2).
+    ap_per_partition_cpu_s: float = 0.18
+    #: Memory a remote PR sub-task needs (index buffers).
+    pr_subtask_memory_bytes: float = 8e6
+    #: Fraction of a question's memory that is host-side state; the rest
+    #: is the paragraph working set held by whichever node(s) execute AP.
+    host_memory_fraction: float = 0.5
+
+
+@dataclass(slots=True)
+class TaskResult:
+    """Everything measured about one executed question."""
+
+    qid: int
+    arrival_time: float
+    start_time: float = 0.0
+    end_time: float = 0.0
+    entry_node: int = -1
+    host_node: int = -1
+    #: Critical-path compute seconds per module (Table 8 semantics).
+    module_times: dict[str, float] = field(
+        default_factory=lambda: {"QP": 0.0, "PR": 0.0, "PS": 0.0, "PO": 0.0, "AP": 0.0}
+    )
+    #: Distribution overhead per component (Table 9 semantics).
+    overhead: dict[str, float] = field(
+        default_factory=lambda: {
+            "keyword_send": 0.0,
+            "paragraph_recv": 0.0,
+            "paragraph_send": 0.0,
+            "answer_recv": 0.0,
+            "answer_sort": 0.0,
+        }
+    )
+    migrated_qa: bool = False
+    migrated_pr: bool = False
+    migrated_ap: bool = False
+    #: Times this question was claimed from a queue by an idle node
+    #: (receiver-initiated work stealing, extension).
+    stolen: int = 0
+    pr_partition_width: int = 1
+    ap_partition_width: int = 1
+    #: True when the hosting node died mid-task (the task state is lost;
+    #: the paper's recovery covers worker failures, not host failures).
+    failed: bool = False
+
+    @property
+    def response_time(self) -> float:
+        """Execution latency: admission to completion (Table 6's metric).
+
+        The paper's response times (111-144 s under a load of 8
+        questions/node) can only be execution latencies — queueing delay
+        is reported through throughput/makespan instead.
+        """
+        return self.end_time - self.start_time
+
+    @property
+    def sojourn_time(self) -> float:
+        """Arrival (DNS assignment) to completion, including queueing."""
+        return self.end_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start_time - self.arrival_time
+
+    @property
+    def total_overhead(self) -> float:
+        return sum(self.overhead.values())
+
+
+class DistributedQATask:
+    """One question's journey through the distributed system."""
+
+    def __init__(
+        self,
+        system: "DistributedQASystem",
+        profile: QuestionProfile,
+        entry_node: int,
+        policy: TaskPolicy,
+    ) -> None:
+        self.system = system
+        self.profile = profile
+        self.policy = policy
+        self.result = TaskResult(
+            qid=profile.qid,
+            arrival_time=system.env.now,
+            entry_node=entry_node,
+        )
+        self.host = entry_node
+        #: Paragraph bytes produced per PR worker (drives host-side merging).
+        self._pr_remote_bytes: dict[int, float] = {}
+
+    # -- helpers ----------------------------------------------------------------
+    def _node(self, nid: int):
+        return self.system.nodes[nid]
+
+    def _enqueue(self, nid: int) -> t.Generator[Event, object, None]:
+        """Queue at ``nid`` until admitted, following work-steal claims.
+
+        On admission, ``self.host`` is the node that admitted the task
+        (possibly a thief).  Raises :class:`NodeDown` if every node the
+        task lands on dies while it waits.
+        """
+        while True:
+            node = self._node(nid)
+            node.active_questions += 1
+            try:
+                yield node.admit_question()
+            except NodeDown:
+                node.active_questions -= 1
+                raise
+            except Stolen as claim:
+                node.active_questions -= 1
+                self._trace(nid, "stolen", f"-> N{claim.target}")
+                try:
+                    yield from self.system.network.transfer(
+                        nid, claim.target, self.profile.question_bytes
+                    )
+                except TransferFailed:
+                    continue  # thief died mid-claim: re-queue at home
+                self.result.stolen += 1
+                nid = claim.target
+                continue
+            self.host = nid
+            return
+
+    def _abandon(self, reason: str) -> TaskResult:
+        """Mark the task lost before it ever started executing."""
+        now = self.system.env.now
+        self.result.failed = True
+        self.result.start_time = now
+        self.result.end_time = now
+        self._trace(self.host, "task-lost", reason)
+        return self.result
+
+    def _trace(self, nid: int, kind: str, detail: str = "") -> None:
+        self.system.tracer.record(
+            self.system.env.now, nid, self.profile.qid, kind, detail
+        )
+
+    def _transfer(
+        self, src: int, dst: int, nbytes: float, category: str,
+        new_connection: bool = False,
+    ) -> t.Generator[Event, object, None]:
+        """Network transfer with overhead accounting (skipped when local)."""
+        if src == dst or nbytes <= 0:
+            return
+        elapsed = yield from self.system.network.transfer(
+            src, dst, nbytes, new_connection=new_connection
+        )
+        self.result.overhead[category] += t.cast(float, elapsed)
+
+    # -- main task body -------------------------------------------------------------
+    def run(self) -> t.Generator[Event, object, TaskResult]:
+        env = self.system.env
+        profile = self.profile
+        result = self.result
+
+        # ---- queue at the DNS-assigned node: the node's Q/A service runs
+        # a bounded number of questions concurrently; the rest wait
+        # (Section 6.1's full-load notion: 4 simultaneous questions).  A
+        # queued question may be claimed by an idle peer (work stealing).
+        try:
+            yield from self._enqueue(self.host)
+        except NodeDown:
+            return self._abandon("entry node died while queued")
+
+        # ---- question dispatcher (scheduling point 1): runs "before the
+        # Q/A task is started" — i.e. when the question leaves the queue.
+        # If the DNS-allocated node is over-loaded relative to a peer, the
+        # task migrates (and queues there if needed).
+        if self.policy.enable_question_dispatch:
+            target = self.system.question_dispatcher.choose(self.host)
+            if target != self.host:
+                yield from self.system.network.transfer(
+                    self.host, target, profile.question_bytes
+                )
+                self._trace(self.host, "qa-migrate", f"-> N{target}")
+                result.migrated_qa = True
+                source = self._node(self.host)
+                source.active_questions -= 1
+                source.release_question()
+                try:
+                    yield from self._enqueue(target)
+                except NodeDown:
+                    return self._abandon("migration target died while queued")
+        result.host_node = self.host
+        host_node = self._node(self.host)
+        result.start_time = env.now
+
+        # ---- host-side task state lives here for the task's duration; the
+        # paragraph working set is charged to whoever executes AP.
+        host_mem = profile.memory_bytes * self.policy.host_memory_fraction
+        host_node.memory.allocate(host_mem)
+        try:
+            yield from self._run_stages()
+        except (WorkerFailed, PartitionAbort):
+            # The host itself died: task state is lost.  The front-end
+            # would surface an error to the user; the workload records it
+            # as a failed question.
+            result.failed = True
+            self._trace(self.host, "task-lost", "host failed")
+        finally:
+            host_node.active_questions -= 1
+            host_node.release_question()
+            host_node.memory.release(host_mem)
+        result.end_time = env.now
+        if not result.failed:
+            self._trace(self.host, "done", f"{result.response_time:.2f}s")
+        return result
+
+    def _run_stages(self) -> t.Generator[Event, object, None]:
+        profile = self.profile
+        result = self.result
+        host_node = self._node(self.host)
+
+        # ---- QP -------------------------------------------------------------------
+        t0 = self.system.env.now
+        self._trace(self.host, "qp-start")
+        yield from host_node.run_cpu(profile.qp_cpu_s)
+        result.module_times["QP"] = self.system.env.now - t0
+
+        # ---- PR + PS (scheduling point 2) ----------------------------------------
+        yield from self._run_pr_stage()
+
+        # ---- PO --------------------------------------------------------------------
+        t0 = self.system.env.now
+        yield from host_node.run_cpu(profile.po_cpu_s)
+        result.module_times["PO"] = self.system.env.now - t0
+        self._trace(self.host, "po-done", f"{profile.n_accepted} accepted")
+
+        # ---- AP (scheduling point 3) ------------------------------------------------
+        yield from self._run_ap_stage()
+
+        # ---- answer sorting ---------------------------------------------------------
+        t0 = self.system.env.now
+        sort_cpu = 2e-4 * profile.n_answers * max(1, result.ap_partition_width)
+        yield from host_node.run_cpu(sort_cpu)
+        result.overhead["answer_sort"] += self.system.env.now - t0
+
+    # -- PR stage -----------------------------------------------------------------------
+    def _run_pr_stage(self) -> t.Generator[Event, object, None]:
+        profile = self.profile
+        result = self.result
+        policy = self.policy
+        collections = profile.collections
+        pr_compute: dict[int, float] = {}
+        ps_compute: dict[int, float] = {}
+
+        assignment = self._dispatch(
+            enabled=policy.enable_pr_dispatch,
+            weights=PR_WEIGHTS,
+            margin=policy.pr_underload_margin,
+            max_parts=len(collections),
+        )
+        result.pr_partition_width = len(assignment.shares)
+        if assignment.node_ids != [self.host]:
+            result.migrated_pr = True
+            self._trace(
+                self.host, "pr-dispatch",
+                "-> " + ",".join(f"N{n}" for n in assignment.node_ids),
+            )
+
+        def executor(
+            nid: int, items: list[CollectionProfile]
+        ) -> t.Generator[Event, object, None]:
+            yield from self._pr_executor(nid, items, pr_compute, ps_compute)
+
+        yield from self._distribute(
+            items=collections,
+            assignment=assignment,
+            executor=executor,
+            strategy=policy.pr_strategy,
+            chunk_size=policy.pr_chunk_collections,
+        )
+
+        # Paragraph merging: the host reads remotely produced paragraphs
+        # back from disk before ordering (Section 3.2).
+        remote_bytes = sum(
+            b for nid, b in self._pr_remote_bytes.items() if nid != self.host
+        )
+        if remote_bytes > 0:
+            yield from self._node(self.host).run_disk(remote_bytes)
+
+        result.module_times["PR"] = max(pr_compute.values(), default=0.0)
+        result.module_times["PS"] = max(ps_compute.values(), default=0.0)
+
+    def _pr_executor(
+        self,
+        nid: int,
+        items: list[CollectionProfile],
+        pr_compute: dict[int, float],
+        ps_compute: dict[int, float],
+    ) -> t.Generator[Event, object, None]:
+        """Run PR+PS for a set of collections on node ``nid``."""
+        node = self._node(nid)
+        remote = nid != self.host
+        allocated = False
+        try:
+            if remote:
+                yield from self._transfer(
+                    self.host, nid, self.profile.keyword_bytes, "keyword_send",
+                    new_connection=True,
+                )
+                node.memory.allocate(self.policy.pr_subtask_memory_bytes)
+                allocated = True
+            for coll in items:
+                if not node.up:
+                    raise WorkerFailed(nid, items[items.index(coll):])
+                t0 = self.system.env.now
+                yield from node.run_cost(coll.cost)
+                pr_compute[nid] = pr_compute.get(nid, 0.0) + (
+                    self.system.env.now - t0
+                )
+                t0 = self.system.env.now
+                yield from node.run_cpu(coll.ps_cpu_s)
+                ps_compute[nid] = ps_compute.get(nid, 0.0) + (
+                    self.system.env.now - t0
+                )
+                self._trace(
+                    nid, "pr-collection",
+                    f"c{coll.collection_id} {coll.n_paragraphs}p",
+                )
+                if remote:
+                    yield from self._transfer(
+                        nid, self.host, coll.paragraph_bytes, "paragraph_recv"
+                    )
+                self._pr_remote_bytes[nid] = self._pr_remote_bytes.get(
+                    nid, 0.0
+                ) + coll.paragraph_bytes
+        except TransferFailed as exc:
+            raise WorkerFailed(nid, items) from exc
+        finally:
+            if allocated:
+                node.memory.release(self.policy.pr_subtask_memory_bytes)
+
+    # -- AP stage -----------------------------------------------------------------------
+    def _run_ap_stage(self) -> t.Generator[Event, object, None]:
+        profile = self.profile
+        result = self.result
+        policy = self.policy
+        paragraphs = profile.paragraphs
+        ap_compute: dict[int, float] = {}
+
+        assignment = self._dispatch(
+            enabled=policy.enable_ap_dispatch,
+            weights=AP_WEIGHTS,
+            margin=policy.ap_underload_margin,
+            max_parts=None,
+        )
+        result.ap_partition_width = len(assignment.shares)
+        if assignment.node_ids != [self.host]:
+            result.migrated_ap = True
+            self._trace(
+                self.host, "ap-dispatch",
+                "-> " + ",".join(f"N{n}" for n in assignment.node_ids),
+            )
+
+        def executor(
+            nid: int, items: list[ParagraphProfile]
+        ) -> t.Generator[Event, object, None]:
+            yield from self._ap_executor(nid, items, ap_compute)
+
+        chunk = policy.ap_chunk_paragraphs
+        if policy.ap_chunk_adaptive:
+            width = max(1, len(assignment.shares))
+            chunk = max(
+                5, len(paragraphs) // (policy.ap_chunks_per_node * width)
+            )
+        yield from self._distribute(
+            items=paragraphs,
+            assignment=assignment,
+            executor=executor,
+            strategy=policy.ap_strategy,
+            chunk_size=chunk,
+        )
+        result.module_times["AP"] = max(ap_compute.values(), default=0.0)
+
+    def _ap_executor(
+        self,
+        nid: int,
+        items: list[ParagraphProfile],
+        ap_compute: dict[int, float],
+    ) -> t.Generator[Event, object, None]:
+        node = self._node(nid)
+        remote = nid != self.host
+        nbytes = sum(p.size_bytes for p in items)
+        ap_mem_total = self.profile.memory_bytes * (
+            1.0 - self.policy.host_memory_fraction
+        )
+        mem_share = ap_mem_total * len(items) / max(1, self.profile.n_accepted)
+        allocated = False
+        try:
+            if remote:
+                yield from self._transfer(
+                    self.host, nid, nbytes, "paragraph_send", new_connection=True
+                )
+            node.memory.allocate(mem_share)
+            allocated = True
+            if not node.up:
+                raise WorkerFailed(nid, items)
+            t0 = self.system.env.now
+            cpu = sum(p.ap_cpu_s for p in items) + self.policy.ap_per_partition_cpu_s
+            yield from node.run_cpu(cpu)
+            ap_compute[nid] = ap_compute.get(nid, 0.0) + (self.system.env.now - t0)
+            self._trace(nid, "ap-part", f"{len(items)}p in {self.system.env.now - t0:.2f}s")
+            if not node.up:
+                raise WorkerFailed(nid, items)
+            if remote:
+                answer_bytes = self.profile.n_answers * self.profile.answer_bytes
+                yield from self._transfer(nid, self.host, answer_bytes, "answer_recv")
+                # The host reads received answers from disk before merging.
+                yield from self._node(self.host).run_disk(answer_bytes)
+        except TransferFailed as exc:
+            raise WorkerFailed(nid, items) from exc
+        finally:
+            if allocated:
+                node.memory.release(mem_share)
+
+    # -- shared dispatch/distribution machinery ----------------------------------------
+    def _dispatch(
+        self,
+        enabled: bool,
+        weights,
+        margin: float,
+        max_parts: int | None,
+    ) -> Assignment:
+        """Run a module dispatcher, or stay on the host when disabled."""
+        if not enabled:
+            return Assignment(shares=((self.host, 1.0),), forced_single=True)
+        table = self.system.monitoring.view(self.host)
+        if not self.policy.enable_partitioning:
+            max_parts = 1
+        assignment = meta_schedule(
+            table,
+            weights,
+            underload_margin=margin,
+            max_parts=max_parts,
+            include=self.host,
+            stay_on=self.host,
+            stay_threshold=single_task_load(weights),
+        )
+        # Optimistically account the dispatched work on the chosen nodes in
+        # this host's local table, damping same-interval herding.
+        tbl = self.system.monitoring.tables[self.host]
+        for nid, share in assignment.shares:
+            snap = tbl.get(nid)
+            if snap is not None:
+                tbl[nid] = replace(
+                    snap,
+                    cpu_load=snap.cpu_load + weights.cpu * share,
+                    disk_load=snap.disk_load + weights.disk * share,
+                )
+        return assignment
+
+    def _distribute(
+        self,
+        items: t.Sequence,
+        assignment: Assignment,
+        executor,
+        strategy: PartitioningStrategy,
+        chunk_size: int,
+    ) -> t.Generator[Event, object, None]:
+        if not items:
+            return
+        env = self.system.env
+        if len(assignment.shares) == 1:
+            nid = assignment.shares[0][0]
+            yield from self._single_node_with_recovery(nid, list(items), executor)
+            return
+        if strategy is PartitioningStrategy.RECV:
+            yield from run_receiver_controlled(
+                env, items, assignment.node_ids, executor, chunk_size
+            )
+        else:
+            yield from run_sender_controlled(
+                env,
+                items,
+                assignment.shares,
+                executor,
+                interleaved=strategy is PartitioningStrategy.ISEND,
+            )
+
+    def _single_node_with_recovery(
+        self, nid: int, items: list, executor
+    ) -> t.Generator[Event, object, None]:
+        """Unpartitioned execution; on worker failure, fall back to host."""
+        try:
+            yield from executor(nid, items)
+        except WorkerFailed as failure:
+            if nid == self.host:
+                raise  # the host itself died; the task is lost
+            self._trace(nid, "worker-failed", f"{len(failure.unprocessed)} items")
+            yield from executor(self.host, list(failure.unprocessed))

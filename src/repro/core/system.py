@@ -1,0 +1,334 @@
+"""The distributed Q/A system (Figure 2) and its workload runner.
+
+:class:`DistributedQASystem` wires together the simulated cluster (nodes,
+network, load monitoring), the scheduling machinery (question dispatcher,
+meta-scheduler, partitioners) and executes question workloads under one of
+the paper's three strategies:
+
+* **DNS** — round-robin only, no migration, no partitioning (Section 6.1's
+  first baseline);
+* **INTER** — DNS + the question dispatcher (the "only model currently
+  implemented in distributed information retrieval systems");
+* **DQA** — all three scheduling points plus intra-question partitioning
+  (the paper's contribution).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as t
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..qa.profiles import QuestionProfile
+from ..simulation.engine import Environment, Process
+from ..simulation.events import Event
+from ..simulation.failures import FailureInjector
+from ..simulation.network import Network
+from .dispatcher import QuestionDispatcher
+from .frontend import DNSFrontend
+from .monitor import MonitoringSystem
+from .node import ClusterNode, NodeConfig
+from .qa_task import DistributedQATask, TaskPolicy, TaskResult
+from .tracing import Tracer
+
+__all__ = ["Strategy", "SystemConfig", "DistributedQASystem", "WorkloadReport"]
+
+
+class Strategy(enum.Enum):
+    """The three load-balancing models compared in Section 6.1."""
+
+    DNS = "DNS"
+    INTER = "INTER"
+    DQA = "DQA"
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """Cluster + scheduling configuration."""
+
+    n_nodes: int = 4
+    strategy: Strategy = Strategy.DQA
+    node: NodeConfig = field(default_factory=NodeConfig)
+    #: Per-node hardware overrides for heterogeneous clusters (extension:
+    #: the paper's testbed is homogeneous, but its availability-weighted
+    #: meta-scheduler was designed to cope with uneven capacity).
+    node_overrides: t.Mapping[int, NodeConfig] | None = None
+    network_bandwidth_bps: float = 100e6  # the testbed's 100 Mbps Ethernet
+    network_latency_s: float = 0.2e-3
+    connection_setup_s: float = 1.5e-3
+    monitor_interval_s: float = 1.0
+    monitor_packet_bytes: float = 512.0
+    membership_timeout_s: float = 3.0
+    dns_cache_skew: float = 0.0
+    policy: TaskPolicy = field(default_factory=TaskPolicy)
+    #: Extension: receiver-initiated diffusion — nodes with a free slot
+    #: and an empty queue claim waiting questions from loaded peers.
+    work_stealing: bool = False
+    steal_interval_s: float = 0.5
+    #: Extension: the gradient model [23] — overloaded nodes push queued
+    #: questions hop-by-hop down the gradient surface of a logical ring.
+    gradient_balancing: bool = False
+    gradient_interval_s: float = 0.5
+    trace: bool = False
+    seed: int = 0
+
+    def effective_policy(self) -> TaskPolicy:
+        """Derive the task policy from the strategy."""
+        if self.strategy is Strategy.DNS:
+            return replace(
+                self.policy,
+                enable_question_dispatch=False,
+                enable_pr_dispatch=False,
+                enable_ap_dispatch=False,
+                enable_partitioning=False,
+            )
+        if self.strategy is Strategy.INTER:
+            return replace(
+                self.policy,
+                enable_question_dispatch=True,
+                enable_pr_dispatch=False,
+                enable_ap_dispatch=False,
+                enable_partitioning=False,
+            )
+        return self.policy
+
+
+@dataclass(slots=True)
+class WorkloadReport:
+    """Aggregate results of one workload run."""
+
+    results: list[TaskResult]
+    makespan_s: float
+    #: Migration counts at the three scheduling points (Table 7).
+    migrations_qa: int
+    migrations_pr: int
+    migrations_ap: int
+
+    @property
+    def n_questions(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput_qpm(self) -> float:
+        """Questions per minute (Table 5's metric)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return 60.0 * self.n_questions / self.makespan_s
+
+    @property
+    def mean_response_s(self) -> float:
+        """Average question response time (Table 6's metric)."""
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.response_time for r in self.results]))
+
+    @property
+    def mean_sojourn_s(self) -> float:
+        """Average arrival-to-completion time (queueing included)."""
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.sojourn_time for r in self.results]))
+
+    def mean_module_times(self) -> dict[str, float]:
+        """Average per-module critical-path times (Table 8)."""
+        keys = ["QP", "PR", "PS", "PO", "AP"]
+        return {
+            k: float(np.mean([r.module_times[k] for r in self.results]))
+            for k in keys
+        }
+
+    def mean_overhead(self) -> dict[str, float]:
+        """Average distribution-overhead components (Table 9)."""
+        keys = list(self.results[0].overhead) if self.results else []
+        return {
+            k: float(np.mean([r.overhead[k] for r in self.results]))
+            for k in keys
+        }
+
+
+class DistributedQASystem:
+    """A simulated cluster running the distributed Q/A service."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self.env = Environment()
+        self.network = Network(
+            self.env,
+            bandwidth_bps=self.config.network_bandwidth_bps,
+            latency_s=self.config.network_latency_s,
+            connection_setup_s=self.config.connection_setup_s,
+        )
+        overrides = self.config.node_overrides or {}
+        self.nodes: dict[int, ClusterNode] = {
+            i: ClusterNode(self.env, i, overrides.get(i, self.config.node))
+            for i in range(self.config.n_nodes)
+        }
+        self.monitoring = MonitoringSystem(
+            self.env,
+            self.network,
+            list(self.nodes.values()),
+            interval_s=self.config.monitor_interval_s,
+            packet_bytes=self.config.monitor_packet_bytes,
+            membership_timeout_s=self.config.membership_timeout_s,
+        )
+        self.question_dispatcher = QuestionDispatcher(self.monitoring)
+        self.frontend = DNSFrontend(
+            self.config.n_nodes,
+            cache_skew=self.config.dns_cache_skew,
+            seed=self.config.seed,
+        )
+        self.tracer = Tracer(enabled=self.config.trace)
+        self.policy = self.config.effective_policy()
+        self.failures = FailureInjector(
+            self.env,
+            set_node_up=self._set_node_up,
+            on_transition=None,
+        )
+        self._task_procs: list[Process] = []
+        self.steals_attempted = 0
+        if self.config.work_stealing:
+            self.env.process(self._stealer(), name="work-stealer")
+        self.gradient: "GradientBalancer | None" = None
+        if self.config.gradient_balancing:
+            from .gradient import GradientBalancer
+
+            self.gradient = GradientBalancer(
+                self.env,
+                self.nodes,
+                interval_s=self.config.gradient_interval_s,
+            )
+
+    # -- receiver-initiated stealing (extension) -----------------------------------
+    def _stealer(self) -> t.Generator[Event, object, None]:
+        """Periodically let under-committed nodes claim queued questions."""
+        interval = self.config.steal_interval_s
+        while True:
+            yield self.env.timeout(interval)
+            for thief_id, thief in self.nodes.items():
+                if not thief.up:
+                    continue
+                if thief.waiting_questions > 0:
+                    continue
+                if thief.running_questions >= thief.config.max_concurrent_questions:
+                    continue
+                # Pick the victim from the thief's (broadcast) view, like
+                # any other scheduling decision in the system.
+                view = self.monitoring.view(thief_id)
+                victim_id = max(
+                    (nid for nid in view if nid != thief_id),
+                    key=lambda nid: view[nid].n_waiting,
+                    default=None,
+                )
+                if victim_id is None or view[victim_id].n_waiting < 1:
+                    continue
+                victim = self.nodes[victim_id]
+                if victim.steal_waiter(thief_id):
+                    self.steals_attempted += 1
+
+    # -- failure plumbing ---------------------------------------------------------
+    def _set_node_up(self, node_id: object, up: bool) -> None:
+        self.network.set_node_up(node_id, up)
+        node = self.nodes[t.cast(int, node_id)]
+        node.up = up
+        if not up:
+            node.fail_admission_waiters()
+
+    # -- submission -----------------------------------------------------------------
+    def submit(
+        self,
+        profile: QuestionProfile,
+        entry_node: int | None = None,
+    ) -> Process:
+        """Start one Q/A task now; returns its process (value: TaskResult)."""
+        nid = self.frontend.assign() if entry_node is None else entry_node
+        task = DistributedQATask(self, profile, nid, self.policy)
+        proc = self.env.process(task.run(), name=f"qa-task[{profile.qid}]")
+        self._task_procs.append(proc)
+        return proc
+
+    def submit_at(
+        self,
+        profile: QuestionProfile,
+        arrival_time: float,
+        entry_node: int | None = None,
+    ) -> None:
+        """Schedule a task to arrive at an absolute simulation time."""
+
+        def arrival() -> t.Generator[Event, object, None]:
+            delay = arrival_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            yield self.submit(profile, entry_node=entry_node)
+
+        self.env.process(arrival(), name=f"arrival[{profile.qid}]")
+
+    # -- workload execution ------------------------------------------------------------
+    def run_workload(
+        self,
+        profiles: t.Sequence[QuestionProfile],
+        arrival_times: t.Sequence[float] | None = None,
+        resubmit_failed: int = 0,
+    ) -> WorkloadReport:
+        """Run a batch of questions to completion and report metrics.
+
+        ``arrival_times`` defaults to all-at-zero.  The simulation runs
+        until every submitted task finishes (load monitors keep running
+        forever, so we run until the last task's completion event).
+
+        ``resubmit_failed`` allows up to that many re-submissions per
+        question whose hosting node died (the front-end retrying against
+        another address); the final attempt's result is reported.
+        """
+        if arrival_times is None:
+            arrival_times = [0.0] * len(profiles)
+        if len(arrival_times) != len(profiles):
+            raise ValueError("arrival_times length must match profiles")
+
+        done: list[TaskResult] = []
+        finished = self.env.event(name="workload-finished")
+        remaining = len(profiles)
+        if remaining == 0:
+            return WorkloadReport([], 0.0, 0, 0, 0)
+
+        def tracked(profile: QuestionProfile, when: float):
+            def body() -> t.Generator[Event, object, None]:
+                nonlocal remaining
+                if when > self.env.now:
+                    yield self.env.timeout(when - self.env.now)
+                result = yield self.submit(profile)
+                attempts = 0
+                while (
+                    t.cast(TaskResult, result).failed
+                    and attempts < resubmit_failed
+                ):
+                    attempts += 1
+                    # Retry against the next live node (skip dead ones).
+                    entry = None
+                    for _ in range(self.config.n_nodes):
+                        candidate = self.frontend.assign()
+                        if self.nodes[candidate].up:
+                            entry = candidate
+                            break
+                    result = yield self.submit(profile, entry_node=entry)
+                done.append(t.cast(TaskResult, result))
+                remaining -= 1
+                if remaining == 0:
+                    finished.succeed()
+
+            return body()
+
+        for profile, when in zip(profiles, arrival_times):
+            self.env.process(tracked(profile, when), name=f"track[{profile.qid}]")
+        self.env.run(until=finished)
+
+        first_arrival = min(arrival_times)
+        makespan = self.env.now - first_arrival
+        return WorkloadReport(
+            results=sorted(done, key=lambda r: r.qid),
+            makespan_s=makespan,
+            migrations_qa=sum(1 for r in done if r.migrated_qa),
+            migrations_pr=sum(1 for r in done if r.migrated_pr),
+            migrations_ap=sum(1 for r in done if r.migrated_ap),
+        )

@@ -1,0 +1,71 @@
+"""Execution tracing (Figure 7).
+
+The paper illustrates partitioning behaviour with timestamped system
+traces ("N1 started paragraph retrieval...", "N2 finished chunk 3 in 0.19
+sec").  :class:`Tracer` records structured events during simulation;
+:func:`render_trace` prints them in the same one-line-per-event style,
+which the Fig 7 benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "Tracer", "render_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One timestamped trace record."""
+
+    time: float
+    node_id: int
+    qid: int
+    kind: str
+    detail: str = ""
+
+
+class Tracer:
+    """Collects trace events (cheap no-op when disabled)."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self, time: float, node_id: int, qid: int, kind: str, detail: str = ""
+    ) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, node_id, qid, kind, detail))
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind in kinds]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def render_trace(
+    events: t.Sequence[TraceEvent],
+    t0: float | None = None,
+) -> str:
+    """Render events in the Fig 7 style.
+
+    Times are shown relative to ``t0`` (default: first event).
+    """
+    if not events:
+        return "(empty trace)"
+    base = min(e.time for e in events) if t0 is None else t0
+    lines = []
+    for e in sorted(events, key=lambda e: (e.time, e.node_id)):
+        rel = e.time - base
+        detail = f" {e.detail}" if e.detail else ""
+        lines.append(f"[{rel:8.3f}s] N{e.node_id} q{e.qid} {e.kind}{detail}")
+    return "\n".join(lines)

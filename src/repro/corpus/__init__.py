@@ -1,0 +1,46 @@
+"""Synthetic TREC-like corpus substrate.
+
+Generates a reproducible document collection with planted facts, Zipfian
+running text, topic-biased sub-collections, and a matched question set —
+the stand-in for the TREC-9 collection and question sets (DESIGN.md §2).
+"""
+
+from .generator import (
+    Corpus,
+    CorpusConfig,
+    Document,
+    SubCollection,
+    generate_corpus,
+)
+from .io import load_corpus, save_corpus
+from .knowledge import (
+    ANSWER_IS_SUBJECT,
+    TEMPLATES,
+    EntityRecord,
+    Fact,
+    KnowledgeBase,
+    build_knowledge_base,
+)
+from .questions import PAPER_EXAMPLE_QUESTIONS, TrecQuestion, generate_questions
+from .zipf import ZipfSampler, make_vocabulary
+
+__all__ = [
+    "ANSWER_IS_SUBJECT",
+    "Corpus",
+    "CorpusConfig",
+    "Document",
+    "EntityRecord",
+    "Fact",
+    "KnowledgeBase",
+    "PAPER_EXAMPLE_QUESTIONS",
+    "SubCollection",
+    "TEMPLATES",
+    "TrecQuestion",
+    "ZipfSampler",
+    "build_knowledge_base",
+    "generate_corpus",
+    "generate_questions",
+    "load_corpus",
+    "make_vocabulary",
+    "save_corpus",
+]

@@ -1,0 +1,360 @@
+"""Entity knowledge base: the ground truth behind the synthetic corpus.
+
+The corpus generator plants *facts* about generated entities into document
+text; the question generator asks about the same facts; the entity
+recognizer's gazetteer is populated from the same inventory.  This mirrors
+the real-world situation where Falcon's NER lexicon covers the TREC
+collection's entities — and it gives every generated question a verifiable
+ground-truth answer, so the reproduction's Q/A pipeline can be tested
+end-to-end for correctness, not just timing.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nlp.entities import EntityType, Gazetteer
+
+__all__ = ["Fact", "EntityRecord", "KnowledgeBase", "build_knowledge_base"]
+
+_FIRST_SYLL = [
+    "Al", "Ber", "Car", "Dan", "El", "Fran", "Gor", "Hel", "Ir", "Jor",
+    "Kar", "Lu", "Mar", "Nor", "Or", "Pet", "Quin", "Ros", "Sam", "Tor",
+    "Ul", "Vic", "Wen", "Xan", "Yor", "Zel",
+]
+_SECOND_SYLL = [
+    "an", "bert", "den", "dra", "eth", "gar", "ia", "ion", "la", "lan",
+    "mer", "mon", "na", "nor", "ra", "rik", "sa", "son", "ta", "tin",
+    "ton", "vak", "vin", "wyn",
+]
+_PLACE_SYLL = [
+    "Arb", "Bel", "Cor", "Dor", "Est", "Fal", "Gol", "Hav", "Ist", "Jun",
+    "Kel", "Lor", "Mont", "Nar", "Ost", "Pol", "Quor", "Riv", "Sol", "Tarn",
+    "Umb", "Vel", "Wes", "Yal", "Zor",
+]
+_PLACE_END = [
+    "burg", "dale", "ford", "gard", "ham", "holm", "land", "mont", "mouth",
+    "port", "shire", "stad", "ton", "vale", "ville", "wick",
+]
+_ORG_WORDS = [
+    "Industries", "Systems", "Laboratories", "Institute", "University",
+    "Corporation", "Foundation", "Group", "Consortium", "Agency",
+]
+_DISEASE_END = [
+    "itis", "osis", "emia", "pathy", "oma", "algia",
+]
+_PRODUCT_WORDS = [
+    "Engine", "Reactor", "Lens", "Turbine", "Battery", "Compass",
+    "Telescope", "Processor", "Valve", "Loom",
+]
+_PROFESSIONS = [
+    "inventor", "explorer", "composer", "painter", "scientist", "author",
+    "president", "actress", "actor", "leader",
+]
+_NATION_SUFFIX = ["ian", "ese", "ish", "an", "ite"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """A (subject, relation, object) triple with typed answer."""
+
+    subject: str
+    relation: str
+    value: str
+    answer_type: EntityType
+
+    def key(self) -> tuple[str, str]:
+        return (self.subject, self.relation)
+
+
+@dataclass(slots=True)
+class EntityRecord:
+    """One knowledge-base entity with its facts."""
+
+    name: str
+    type: EntityType
+    facts: list[Fact] = field(default_factory=list)
+
+
+class KnowledgeBase:
+    """Inventory of generated entities, their facts, and sentence templates."""
+
+    def __init__(self) -> None:
+        self.entities: dict[str, EntityRecord] = {}
+        self.facts: list[Fact] = []
+        self.nationalities: list[str] = []
+
+    # -- construction -----------------------------------------------------------
+    def add_entity(self, record: EntityRecord) -> None:
+        if record.name in self.entities:
+            raise ValueError(f"duplicate entity {record.name!r}")
+        self.entities[record.name] = record
+        self.facts.extend(record.facts)
+
+    # -- views ----------------------------------------------------------------
+    def gazetteer(self) -> Gazetteer:
+        """Build the recognizer gazetteer covering every KB entity and
+        every fact value that is itself a named thing."""
+        g = Gazetteer()
+        for rec in self.entities.values():
+            g.add(rec.name, rec.type)
+        for fact in self.facts:
+            if fact.answer_type in (
+                EntityType.PERSON,
+                EntityType.LOCATION,
+                EntityType.ORGANIZATION,
+                EntityType.DISEASE,
+                EntityType.PRODUCT,
+                EntityType.NATIONALITY,
+            ):
+                if fact.value not in self.entities:
+                    g.add(fact.value, fact.answer_type)
+        return g
+
+    def by_type(self, etype: EntityType) -> list[EntityRecord]:
+        return [r for r in self.entities.values() if r.type is etype]
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+
+# -- fact sentence/question templates, keyed by relation ----------------------
+#: relation -> (statement template, question template).  Question templates
+#: reference only the fact fields that are *given*; the remaining field is
+#: the answer (see ANSWER_IS_SUBJECT below).
+TEMPLATES: dict[str, tuple[str, str]] = {
+    "located_in": (
+        "The famous {subject} is located in {value} and attracts visitors.",
+        "Where is the {subject}?",
+    ),
+    "born_in": (
+        "{subject} was born in the town of {value} many years ago.",
+        "Where was {subject} born?",
+    ),
+    "birth_year": (
+        "{subject} was born in the year {value} according to records.",
+        "When was {subject} born?",
+    ),
+    "nationality": (
+        "The {value} {profession} {subject} became famous around the world.",
+        "What is the nationality of {subject}?",
+    ),
+    "invented": (
+        "{subject} invented the {value} after years of careful research.",
+        "What did {subject} invent?",
+    ),
+    "inventor_of": (
+        "The {subject} was invented by {value} after years of research.",
+        "Who invented the {subject}?",
+    ),
+    "buried_in": (
+        "{subject} was buried in {value} following a private ceremony.",
+        "Where is {subject} buried?",
+    ),
+    "capital_of": (
+        "The city of {subject} serves as the capital of {value}.",
+        "Which country has {subject} as its capital?",
+    ),
+    "population": (
+        "The city of {subject} has a population of about {value} people.",
+        "How many people live in {subject}?",
+    ),
+    "founded_in": (
+        "{subject} was founded in {value} by a group of researchers.",
+        "When was {subject} founded?",
+    ),
+    "headquartered_in": (
+        "{subject} is headquartered in {value} near the central district.",
+        "Where is {subject} headquartered?",
+    ),
+    "causes_symptom": (
+        "Patients suffering from {subject} often show {value} among other symptoms.",
+        "What disease causes {value}?",
+    ),
+    "treated_by": (
+        "Doctors report that {subject} can be treated with {value} therapy.",
+        "How is {subject} treated?",
+    ),
+    "led_by": (
+        "{subject} was led by {value} during its most successful years.",
+        "Who led {subject}?",
+    ),
+    "height_meters": (
+        "The {subject} rises {value} meters above the surrounding plain.",
+        "How tall is the {subject}?",
+    ),
+}
+
+#: Relations whose generated question gives the value and asks for the
+#: subject (e.g. "What disease causes <symptom>?" -> the disease).
+ANSWER_IS_SUBJECT: frozenset[str] = frozenset({"causes_symptom"})
+
+
+def _person_name(rng: np.random.Generator) -> str:
+    first = rng.choice(_FIRST_SYLL) + rng.choice(_SECOND_SYLL)
+    last = rng.choice(_FIRST_SYLL) + rng.choice(_SECOND_SYLL)
+    return f"{first} {last}"
+
+
+def _place_name(rng: np.random.Generator) -> str:
+    return rng.choice(_PLACE_SYLL) + rng.choice(_PLACE_END).lower()
+
+
+def _org_name(rng: np.random.Generator) -> str:
+    return f"{_place_name(rng)} {rng.choice(_ORG_WORDS)}"
+
+
+def _disease_name(rng: np.random.Generator) -> str:
+    stem = rng.choice(_PLACE_SYLL).lower() + rng.choice(["br", "t", "n", "m"])
+    return stem.capitalize() + rng.choice(_DISEASE_END)
+
+
+def _product_name(rng: np.random.Generator) -> str:
+    return f"{_place_name(rng)} {rng.choice(_PRODUCT_WORDS)}"
+
+
+def _nationality(rng: np.random.Generator, country: str) -> str:
+    base = country.split()[0]
+    for end in ("burg", "land", "ton", "ville", "stad"):
+        if base.endswith(end):
+            base = base[: -len(end)]
+            break
+    return (base + str(rng.choice(_NATION_SUFFIX))).capitalize()
+
+
+def build_knowledge_base(
+    n_persons: int = 60,
+    n_places: int = 50,
+    n_orgs: int = 25,
+    n_diseases: int = 15,
+    n_products: int = 25,
+    seed: int = 7,
+) -> KnowledgeBase:
+    """Generate a reproducible knowledge base of entities and facts."""
+    rng = np.random.default_rng(seed)
+    kb = KnowledgeBase()
+    used_names: set[str] = set()
+
+    def fresh(maker: t.Callable[[np.random.Generator], str]) -> str:
+        for _ in range(1000):
+            name = maker(rng)
+            if name not in used_names:
+                used_names.add(name)
+                return name
+        raise RuntimeError("name space exhausted")  # pragma: no cover
+
+    countries = [fresh(_place_name) for _ in range(max(5, n_places // 5))]
+    for c in countries:
+        rec = EntityRecord(c, EntityType.LOCATION)
+        kb.add_entity(rec)
+    nationalities = []
+    for c in countries:
+        nat = _nationality(rng, c)
+        nationalities.append(nat)
+    kb.nationalities = nationalities
+
+    cities = []
+    for _ in range(n_places):
+        name = fresh(_place_name)
+        country = str(rng.choice(countries))
+        rec = EntityRecord(name, EntityType.LOCATION)
+        rec.facts.append(
+            Fact(name, "population", f"{int(rng.integers(20, 900)) * 1000}",
+                 EntityType.NUMBER)
+        )
+        if rng.random() < 0.3:
+            rec.facts.append(Fact(name, "capital_of", country, EntityType.LOCATION))
+        kb.add_entity(rec)
+        cities.append(name)
+
+    monuments = []
+    for _ in range(max(5, n_places // 3)):
+        name = fresh(_place_name) + " " + str(
+            rng.choice(["Tower", "Temple", "Bridge", "Cathedral", "Palace"])
+        )
+        rec = EntityRecord(name, EntityType.LOCATION)
+        rec.facts.append(
+            Fact(name, "located_in", str(rng.choice(cities)), EntityType.LOCATION)
+        )
+        rec.facts.append(
+            Fact(name, "height_meters", str(int(rng.integers(30, 400))),
+                 EntityType.DISTANCE)
+        )
+        kb.add_entity(rec)
+        monuments.append(name)
+
+    products = [fresh(_product_name) for _ in range(n_products)]
+
+    for i in range(n_persons):
+        name = fresh(_person_name)
+        rec = EntityRecord(name, EntityType.PERSON)
+        profession = str(rng.choice(_PROFESSIONS))
+        rec.facts.append(
+            Fact(name, "born_in", str(rng.choice(cities)), EntityType.LOCATION)
+        )
+        rec.facts.append(
+            Fact(name, "birth_year", str(int(rng.integers(1700, 1980))),
+                 EntityType.DATE)
+        )
+        rec.facts.append(
+            Fact(name, "nationality", str(rng.choice(nationalities)),
+                 EntityType.NATIONALITY)
+        )
+        if i < len(products):
+            rec.facts.append(
+                Fact(name, "invented", products[i], EntityType.PRODUCT)
+            )
+            rec.facts.append(
+                Fact(products[i], "inventor_of", name, EntityType.PERSON)
+            )
+        if rng.random() < 0.5:
+            rec.facts.append(
+                Fact(name, "buried_in", str(rng.choice(cities)),
+                     EntityType.LOCATION)
+            )
+        kb.add_entity(rec)
+
+    persons = kb.by_type(EntityType.PERSON)
+    for _ in range(n_orgs):
+        name = fresh(_org_name)
+        rec = EntityRecord(name, EntityType.ORGANIZATION)
+        rec.facts.append(
+            Fact(name, "founded_in", str(int(rng.integers(1800, 1995))),
+                 EntityType.DATE)
+        )
+        # An organization named "<Place> Institute" must not be placed in
+        # <Place> — the generated question would contain its own answer.
+        hq_options = [c for c in cities if c not in name]
+        rec.facts.append(
+            Fact(name, "headquartered_in", str(rng.choice(hq_options or cities)),
+                 EntityType.LOCATION)
+        )
+        rec.facts.append(
+            Fact(name, "led_by", persons[int(rng.integers(0, len(persons)))].name,
+                 EntityType.PERSON)
+        )
+        kb.add_entity(rec)
+
+    symptoms = [
+        "involuntary movements", "severe headaches", "muscle weakness",
+        "chronic fatigue", "blurred vision", "persistent fever",
+        "joint swelling", "memory loss",
+    ]
+    for _ in range(n_diseases):
+        name = fresh(_disease_name)
+        rec = EntityRecord(name, EntityType.DISEASE)
+        rec.facts.append(
+            Fact(name, "causes_symptom", str(rng.choice(symptoms)),
+                 EntityType.DISEASE)
+        )
+        kb.add_entity(rec)
+
+    # Register products as entities too (they appear in questions).
+    for p in products:
+        if p not in kb.entities:
+            kb.add_entity(EntityRecord(p, EntityType.PRODUCT))
+
+    return kb

@@ -1,0 +1,90 @@
+"""TREC-style question set generation.
+
+Every planted fact yields one question through the relation's question
+template, so each generated question has a known ground-truth answer that
+the Q/A pipeline can be scored against — the reproduction's analogue of
+the TREC-8/9 question sets the paper samples from (Section 6).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nlp.entities import EntityType
+from .generator import Corpus
+from .knowledge import ANSWER_IS_SUBJECT, TEMPLATES, Fact
+
+__all__ = ["TrecQuestion", "generate_questions", "PAPER_EXAMPLE_QUESTIONS"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrecQuestion:
+    """A generated factual question with ground truth."""
+
+    qid: int
+    text: str
+    fact: Fact
+    expected_answer: str
+    answer_type: EntityType
+
+
+#: The four example questions of Table 1, for the quickstart demo.
+PAPER_EXAMPLE_QUESTIONS = [
+    "What is the name of the rare neurological disease with symptoms such"
+    " as involuntary movements?",
+    "Where is the actress Marion Davies buried?",
+    "Where is the Taj Mahal?",
+    "What is the nationality of Pope John Paul II?",
+]
+
+
+def generate_questions(
+    corpus: Corpus,
+    max_questions: int | None = None,
+    seed: int = 0,
+    relations: t.Collection[str] | None = None,
+) -> list[TrecQuestion]:
+    """Build the question set for ``corpus``.
+
+    Parameters
+    ----------
+    corpus:
+        The generated corpus (provides the fact inventory).
+    max_questions:
+        Optional cap; a random but seed-stable subsample is taken.
+    relations:
+        Restrict to specific relations (e.g. only "located_in").
+    """
+    questions: list[TrecQuestion] = []
+    seen_keys: set[tuple[str, str]] = set()
+    qid = 0
+    for fact in corpus.knowledge.facts:
+        if relations is not None and fact.relation not in relations:
+            continue
+        if fact.key() in seen_keys:
+            continue
+        seen_keys.add(fact.key())
+        _stmt, template = TEMPLATES[fact.relation]
+        text = template.format(subject=fact.subject, value=fact.value)
+        answer = (
+            fact.subject if fact.relation in ANSWER_IS_SUBJECT else fact.value
+        )
+        questions.append(
+            TrecQuestion(
+                qid=qid,
+                text=text,
+                fact=fact,
+                expected_answer=answer,
+                answer_type=fact.answer_type,
+            )
+        )
+        qid += 1
+
+    if max_questions is not None and len(questions) > max_questions:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(questions), size=max_questions, replace=False)
+        questions = [questions[i] for i in sorted(idx)]
+    return questions

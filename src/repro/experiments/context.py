@@ -1,0 +1,88 @@
+"""Shared experiment context: corpus, pipeline, and workloads.
+
+Builds (and memoizes per process) the moderately expensive shared
+artefacts — the generated corpus, its indexes, the Q/A pipeline, and the
+real-pipeline question profiles — so that every benchmark does not pay
+corpus generation again.
+"""
+
+from __future__ import annotations
+
+import functools
+import typing as t
+from dataclasses import dataclass
+
+from ..corpus import (
+    Corpus,
+    CorpusConfig,
+    TrecQuestion,
+    generate_corpus,
+    generate_questions,
+)
+from ..nlp.entities import EntityRecognizer
+from ..qa import (
+    CostModel,
+    QAPipeline,
+    QuestionProfile,
+    SyntheticProfileGenerator,
+    SyntheticProfileParams,
+    profile_question,
+)
+from ..retrieval import IndexedCorpus
+
+__all__ = ["ExperimentContext", "default_context", "complex_profiles"]
+
+
+@dataclass(slots=True)
+class ExperimentContext:
+    """Everything the real-pipeline experiments share."""
+
+    corpus: Corpus
+    indexed: IndexedCorpus
+    recognizer: EntityRecognizer
+    pipeline: QAPipeline
+    questions: list[TrecQuestion]
+    model: CostModel
+
+    def profiles(
+        self, n: int, seed_offset: int = 0
+    ) -> list[QuestionProfile]:
+        """Real-pipeline profiles for the first ``n`` generated questions."""
+        out = []
+        for q in self.questions[seed_offset : seed_offset + n]:
+            out.append(
+                profile_question(self.pipeline, q.text, self.model, qid=q.qid)
+            )
+        return out
+
+
+@functools.lru_cache(maxsize=2)
+def default_context(seed: int = 42) -> ExperimentContext:
+    """The memoized default experiment context."""
+    corpus = generate_corpus(CorpusConfig(seed=seed))
+    indexed = IndexedCorpus(corpus)
+    recognizer = EntityRecognizer(
+        corpus.knowledge.gazetteer(),
+        extra_nationalities=corpus.knowledge.nationalities,
+    )
+    pipeline = QAPipeline(indexed, recognizer)
+    questions = generate_questions(corpus)
+    return ExperimentContext(
+        corpus=corpus,
+        indexed=indexed,
+        recognizer=recognizer,
+        pipeline=pipeline,
+        questions=questions,
+        model=CostModel.default(),
+    )
+
+
+def complex_profiles(n: int, seed: int = 3) -> list[QuestionProfile]:
+    """Synthetic Table 8-population profiles (complex questions).
+
+    The paper's intra-question experiments select 307 questions "complex
+    enough to justify distribution on all nodes"; this generator samples
+    that population directly (DESIGN.md §2's calibrated substitution).
+    """
+    gen = SyntheticProfileGenerator(SyntheticProfileParams.complex(), seed=seed)
+    return gen.generate_many(n)

@@ -1,0 +1,153 @@
+"""Tables 5, 6 and 7 — the high-load load-balancing comparison.
+
+Protocol (Section 6.1): for N in {4, 8, 12} processors, start 8N
+questions (twice the overload level) at 0-2 s staggered intervals, drawn
+from the mixed TREC-8/TREC-9 population, with a perfect round-robin
+initial distribution; run under the DNS, INTER and DQA strategies with
+identical questions and startup sequence; report
+
+* Table 5 — system throughput (questions/minute),
+* Table 6 — average question response times (seconds),
+* Table 7 — migrations at the three scheduling points.
+
+Paper shapes to reproduce: DNS < INTER < DQA throughput (INTER ≈ +21 %
+over DNS, DQA ≈ +29 % over INTER); response times ordered the other way;
+PR/AP dispatchers visibly active in DQA's Table 7 column.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import DistributedQASystem, Strategy, SystemConfig
+from ..workload import high_load_count, staggered_arrivals, trec_mix_profiles
+from .report import TextTable
+
+__all__ = ["LoadBalancingCell", "run_load_balancing", "format_tables_5_6_7"]
+
+PAPER_TABLE5 = {
+    (4, "DNS"): 2.64, (4, "INTER"): 3.45, (4, "DQA"): 4.18,
+    (8, "DNS"): 5.04, (8, "INTER"): 5.52, (8, "DQA"): 7.77,
+    (12, "DNS"): 7.89, (12, "INTER"): 9.71, (12, "DQA"): 12.09,
+}
+PAPER_TABLE6 = {
+    (4, "DNS"): 143.88, (4, "INTER"): 122.51, (4, "DQA"): 111.85,
+    (8, "DNS"): 135.30, (8, "INTER"): 118.82, (8, "DQA"): 113.53,
+    (12, "DNS"): 132.45, (12, "INTER"): 115.29, (12, "DQA"): 106.03,
+}
+PAPER_TABLE7 = {
+    (4, "INTER"): {"QA": 8},
+    (4, "DQA"): {"QA": 17, "PR": 10, "AP": 10},
+    (8, "INTER"): {"QA": 15},
+    (8, "DQA"): {"QA": 26, "PR": 34, "AP": 33},
+    (12, "INTER"): {"QA": 23},
+    (12, "DQA"): {"QA": 37, "PR": 43, "AP": 41},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class LoadBalancingCell:
+    """One (processor count, strategy) measurement, averaged over seeds."""
+
+    n_nodes: int
+    strategy: str
+    throughput_qpm: float
+    mean_response_s: float
+    mean_sojourn_s: float
+    migrations_qa: float
+    migrations_pr: float
+    migrations_ap: float
+
+
+def run_load_balancing(
+    node_counts: t.Sequence[int] = (4, 8, 12),
+    seeds: t.Sequence[int] = (11, 23, 37),
+    sigma: float = 0.55,
+) -> list[LoadBalancingCell]:
+    """Run the full three-strategy comparison."""
+    cells: list[LoadBalancingCell] = []
+    for n_nodes in node_counts:
+        n_q = high_load_count(n_nodes)
+        for strategy in (Strategy.DNS, Strategy.INTER, Strategy.DQA):
+            thr, resp, soj, mqa, mpr, map_ = [], [], [], [], [], []
+            for seed in seeds:
+                profiles = trec_mix_profiles(n_q, seed=seed, sigma=sigma)
+                arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
+                system = DistributedQASystem(
+                    SystemConfig(n_nodes=n_nodes, strategy=strategy, seed=seed)
+                )
+                rep = system.run_workload(profiles, arrivals)
+                thr.append(rep.throughput_qpm)
+                resp.append(rep.mean_response_s)
+                soj.append(rep.mean_sojourn_s)
+                mqa.append(rep.migrations_qa)
+                mpr.append(rep.migrations_pr)
+                map_.append(rep.migrations_ap)
+            cells.append(
+                LoadBalancingCell(
+                    n_nodes=n_nodes,
+                    strategy=strategy.value,
+                    throughput_qpm=float(np.mean(thr)),
+                    mean_response_s=float(np.mean(resp)),
+                    mean_sojourn_s=float(np.mean(soj)),
+                    migrations_qa=float(np.mean(mqa)),
+                    migrations_pr=float(np.mean(mpr)),
+                    migrations_ap=float(np.mean(map_)),
+                )
+            )
+    return cells
+
+
+def format_tables_5_6_7(cells: t.Sequence[LoadBalancingCell]) -> str:
+    """Render Tables 5, 6 and 7 from one set of cells."""
+    by_key = {(c.n_nodes, c.strategy): c for c in cells}
+    node_counts = sorted({c.n_nodes for c in cells})
+
+    t5 = TextTable(
+        "Table 5: system throughput (questions/minute)",
+        ["Processors", "DNS", "INTER", "DQA", "paper DNS/INTER/DQA"],
+    )
+    t6 = TextTable(
+        "Table 6: average question response times (seconds)",
+        ["Processors", "DNS", "INTER", "DQA", "paper DNS/INTER/DQA"],
+    )
+    t7 = TextTable(
+        "Table 7: migrated questions at the three scheduling points",
+        ["Workload", "INTER QA", "DQA QA", "DQA PR", "DQA AP", "paper DQA QA/PR/AP"],
+    )
+    for n in node_counts:
+        t5.add_row(
+            n,
+            by_key[(n, "DNS")].throughput_qpm,
+            by_key[(n, "INTER")].throughput_qpm,
+            by_key[(n, "DQA")].throughput_qpm,
+            "/".join(
+                f"{PAPER_TABLE5[(n, s)]:.2f}" for s in ("DNS", "INTER", "DQA")
+            )
+            if (n, "DNS") in PAPER_TABLE5
+            else "-",
+        )
+        t6.add_row(
+            n,
+            by_key[(n, "DNS")].mean_response_s,
+            by_key[(n, "INTER")].mean_response_s,
+            by_key[(n, "DQA")].mean_response_s,
+            "/".join(
+                f"{PAPER_TABLE6[(n, s)]:.0f}" for s in ("DNS", "INTER", "DQA")
+            )
+            if (n, "DNS") in PAPER_TABLE6
+            else "-",
+        )
+        paper7 = PAPER_TABLE7.get((n, "DQA"), {})
+        t7.add_row(
+            f"{8 * n} questions ({n} procs)",
+            by_key[(n, "INTER")].migrations_qa,
+            by_key[(n, "DQA")].migrations_qa,
+            by_key[(n, "DQA")].migrations_pr,
+            by_key[(n, "DQA")].migrations_ap,
+            f"{paper7.get('QA', '-')}/{paper7.get('PR', '-')}/{paper7.get('AP', '-')}",
+        )
+    return "\n\n".join([t5.render(), t6.render(), t7.render()])

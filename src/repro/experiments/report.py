@@ -1,0 +1,75 @@
+"""Plain-text table/series rendering for experiment reports.
+
+Every experiment driver returns structured rows plus a human-readable
+rendering in the style of the paper's tables, so benchmark output can be
+eyeballed against the original.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+__all__ = ["TextTable", "format_series"]
+
+
+class TextTable:
+    """A minimal fixed-width text table builder."""
+
+    def __init__(self, title: str, columns: t.Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [self.title, "=" * len(self.title), header, sep]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def format_series(
+    title: str,
+    series: t.Mapping[str, t.Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as aligned columns (figure data)."""
+    lines = [title, "=" * len(title)]
+    names = list(series)
+    header = f"{x_label:>10} " + " ".join(f"{n:>14}" for n in names)
+    lines.append(header)
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    lookup = {
+        name: {x: y for x, y in pts} for name, pts in series.items()
+    }
+    for x in xs:
+        cells = []
+        for name in names:
+            y = lookup[name].get(x)
+            cells.append(f"{y:>14.2f}" if y is not None else " " * 14)
+        lines.append(f"{x:>10g} " + " ".join(cells))
+    return "\n".join(lines)

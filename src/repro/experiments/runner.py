@@ -1,0 +1,185 @@
+"""Run every experiment and emit the full report.
+
+``python -m repro.experiments.runner`` regenerates every table and figure
+of the paper (plus the ablations) and prints them in order.  Individual
+experiments are importable separately; this module is the one-shot
+entry point used to produce EXPERIMENTS.md's measured columns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing as t
+
+from ..core import PartitioningStrategy
+from .ablations import (
+    format_concurrency_sweep,
+    format_dispatcher_ablation,
+    format_margin_sweep,
+    format_threshold_sweep,
+    run_concurrency_sweep,
+    run_dispatcher_ablation,
+    run_margin_sweep,
+    run_threshold_sweep,
+)
+from .figures import format_fig8, format_fig9, run_fig7_trace, run_fig8, run_fig9
+from .intra_question_exp import (
+    format_table8,
+    format_table9,
+    format_table10,
+    run_intra_question,
+)
+from .load_balancing import format_tables_5_6_7, run_load_balancing
+from .partitioning_exp import (
+    format_fig10,
+    format_table11,
+    run_fig10,
+    run_table11,
+)
+from .table1_examples import format_table1, run_table1
+from .table2_module_analysis import format_table2, run_table2
+from .table3_resource_weights import format_table3, run_table3
+from .table4_upper_limits import format_table4, run_table4
+
+__all__ = ["run_all", "EXPERIMENTS"]
+
+#: name -> callable returning the rendered report section.
+EXPERIMENTS: dict[str, t.Callable[[], str]] = {
+    "table1": lambda: format_table1(run_table1()),
+    "table2": lambda: format_table2(run_table2()),
+    "table3": lambda: format_table3(run_table3()),
+    "table4": lambda: format_table4(run_table4()),
+    "tables5-7": lambda: format_tables_5_6_7(run_load_balancing()),
+    "tables8-10": lambda: _tables_8_9_10(),
+    "table11": lambda: format_table11(run_table11()),
+    "fig7": lambda: "\n\n".join(
+        run_fig7_trace(s)
+        for s in (
+            PartitioningStrategy.SEND,
+            PartitioningStrategy.ISEND,
+            PartitioningStrategy.RECV,
+        )
+    ),
+    "fig8": lambda: format_fig8(run_fig8()),
+    "fig9": lambda: format_fig9(run_fig9()),
+    "fig10": lambda: format_fig10(run_fig10()),
+    "ablation-dispatchers": lambda: format_dispatcher_ablation(
+        run_dispatcher_ablation()
+    ),
+    "ablation-concurrency": lambda: format_concurrency_sweep(
+        run_concurrency_sweep()
+    ),
+    "ablation-threshold": lambda: format_threshold_sweep(run_threshold_sweep()),
+    "ablation-margin": lambda: format_margin_sweep(run_margin_sweep()),
+    "ext-prediction": lambda: _ext_prediction(),
+    "ext-heterogeneous": lambda: _ext_heterogeneous(),
+    "ext-churn": lambda: _ext_churn(),
+    "ext-cache-skew": lambda: _ext_cache_skew(),
+    "ext-model-validation": lambda: _ext_model_validation(),
+    "ext-staleness": lambda: _ext_staleness(),
+    "ext-stealing": lambda: _ext_stealing(),
+}
+
+
+def _ext_stealing() -> str:
+    from .stealing_exp import format_stealing, run_stealing
+
+    return format_stealing(run_stealing())
+
+
+def _ext_model_validation() -> str:
+    from .validation_exp import format_inter_validation, run_inter_validation
+
+    return format_inter_validation(run_inter_validation())
+
+
+def _ext_staleness() -> str:
+    from .validation_exp import format_staleness_sweep, run_staleness_sweep
+
+    return format_staleness_sweep(run_staleness_sweep())
+
+
+def _ext_prediction() -> str:
+    from .prediction_exp import format_prediction, run_prediction
+
+    return format_prediction(run_prediction())
+
+
+def _ext_heterogeneous() -> str:
+    from .robustness_exp import format_heterogeneous, run_heterogeneous
+
+    return format_heterogeneous(run_heterogeneous())
+
+
+def _ext_churn() -> str:
+    from .robustness_exp import format_churn, run_churn
+
+    return format_churn(run_churn())
+
+
+def _ext_cache_skew() -> str:
+    from .robustness_exp import format_cache_skew, run_cache_skew
+
+    return format_cache_skew(run_cache_skew())
+
+
+def _tables_8_9_10() -> str:
+    rows = run_intra_question()
+    return "\n\n".join(
+        [format_table8(rows), format_table9(rows), format_table10(rows)]
+    )
+
+
+def run_all(
+    only: t.Sequence[str] | None = None,
+    stream: t.TextIO | None = None,
+) -> None:
+    """Run (a subset of) the experiments, printing each section."""
+    if stream is None:
+        stream = sys.stdout  # resolved at call time (test capture works)
+    names = list(only) if only else list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+    for name in names:
+        t0 = time.perf_counter()
+        section = EXPERIMENTS[name]()
+        dt = time.perf_counter() - t0
+        print(f"\n### {name} ({dt:.1f}s wall)\n", file=stream)
+        print(section, file=stream)
+
+
+def main(argv: t.Sequence[str] | None = None) -> None:
+    """Parse arguments and run the selected experiments."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"subset to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "-o", "--output",
+        help="also write the report to this file",
+    )
+    args = parser.parse_args(argv)
+    if args.output:
+        import io
+
+        buffer = io.StringIO()
+
+        class _Tee:
+            def write(self, text: str) -> int:
+                sys.stdout.write(text)
+                return buffer.write(text)
+
+        run_all(args.experiments or None, stream=t.cast(t.TextIO, _Tee()))
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(buffer.getvalue())
+    else:
+        run_all(args.experiments or None)
+
+
+if __name__ == "__main__":
+    main()

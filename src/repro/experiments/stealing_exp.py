@@ -1,0 +1,90 @@
+"""Extension: the related-work load balancers the paper lists but never runs.
+
+The paper's related work surveys the gradient model [23, 25, 28] and
+sender/receiver-initiated diffusion [31, 35], and its conclusion cites the
+accepted fact that "receiver-controlled algorithms achieve better
+performance than sender-controlled algorithms" — but its load-balancing
+evaluation only contains sender-initiated question migration (the
+dispatchers push work away from loaded nodes).  This experiment adds the
+missing columns: the gradient model pushing queued questions hop-by-hop
+down a logical ring, and idle nodes *pulling* queued questions (work
+stealing) — alone and combined with the paper's DQA machinery.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import DistributedQASystem, Strategy, SystemConfig
+from ..workload import high_load_count, staggered_arrivals, trec_mix_profiles
+from .report import TextTable
+
+__all__ = ["StealRow", "run_stealing", "format_stealing"]
+
+
+@dataclass(frozen=True, slots=True)
+class StealRow:
+    label: str
+    throughput_qpm: float
+    mean_response_s: float
+    steals_per_run: float
+
+
+def run_stealing(
+    n_nodes: int = 8,
+    seeds: t.Sequence[int] = (11, 23, 37),
+) -> list[StealRow]:
+    """Compare sender-initiated migration with receiver-initiated stealing."""
+    n_q = high_load_count(n_nodes)
+    variants: list[tuple[str, SystemConfig]] = [
+        ("DNS (no balancing)", SystemConfig(n_nodes=n_nodes, strategy=Strategy.DNS)),
+        ("INTER (sender-initiated)",
+         SystemConfig(n_nodes=n_nodes, strategy=Strategy.INTER)),
+        ("DNS + gradient model [23]",
+         SystemConfig(n_nodes=n_nodes, strategy=Strategy.DNS,
+                      gradient_balancing=True)),
+        ("DNS + stealing (receiver-initiated)",
+         SystemConfig(n_nodes=n_nodes, strategy=Strategy.DNS, work_stealing=True)),
+        ("DQA (paper)", SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA)),
+        ("DQA + stealing",
+         SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA, work_stealing=True)),
+    ]
+    rows = []
+    for label, config in variants:
+        thr, resp, steals = [], [], []
+        for seed in seeds:
+            profiles = trec_mix_profiles(n_q, seed=seed)
+            arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
+            system = DistributedQASystem(config)
+            rep = system.run_workload(profiles, arrivals)
+            thr.append(rep.throughput_qpm)
+            resp.append(rep.mean_response_s)
+            moves = system.steals_attempted
+            if system.gradient is not None:
+                moves += system.gradient.pushes
+            steals.append(moves)
+        rows.append(
+            StealRow(
+                label=label,
+                throughput_qpm=float(np.mean(thr)),
+                mean_response_s=float(np.mean(resp)),
+                steals_per_run=float(np.mean(steals)),
+            )
+        )
+    return rows
+
+
+def format_stealing(rows: t.Sequence[StealRow]) -> str:
+    """Render the stealing-comparison rows as a text table."""
+    table = TextTable(
+        "Extension: related-work load balancers (8 nodes, high load)",
+        ["Variant", "Throughput (q/min)", "Mean response (s)", "Moves"],
+    )
+    for r in rows:
+        table.add_row(
+            r.label, r.throughput_qpm, r.mean_response_s, r.steals_per_run
+        )
+    return table.render()

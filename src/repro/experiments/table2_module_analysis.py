@@ -1,0 +1,99 @@
+"""Table 2 — analysis of the Q/A modules.
+
+Reproduces the per-module breakdown of the sequential Q/A task: fraction
+of task time, whether the module is iterative, and its iteration
+granularity.  Paper values (TREC-9): QP 1.2 %, PR 26.5 %, PS 2.2 %,
+PO 0.1 %, AP 69.7 %.
+
+Module times are the *simulated* per-module durations derived from real
+pipeline work via the calibrated cost model — the same quantities the
+distributed experiments consume.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from .context import ExperimentContext, default_context
+from .report import TextTable
+
+__all__ = ["ModuleRow", "run_table2", "format_table2", "PAPER_TABLE2"]
+
+#: Paper's TREC-9 column of Table 2 (fraction of task time).
+PAPER_TABLE2: dict[str, float] = {
+    "QP": 0.012,
+    "PR": 0.265,
+    "PS": 0.022,
+    "PO": 0.001,
+    "AP": 0.697,
+}
+
+_ITERATIVE: dict[str, tuple[bool, str]] = {
+    "QP": (False, "-"),
+    "PR": (True, "Collection"),
+    "PS": (True, "Paragraph"),
+    "PO": (False, "-"),
+    "AP": (True, "Paragraph"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleRow:
+    module: str
+    mean_seconds: float
+    fraction: float
+    paper_fraction: float
+    iterative: bool
+    granularity: str
+
+
+def run_table2(
+    ctx: ExperimentContext | None = None, n_questions: int = 60
+) -> list[ModuleRow]:
+    """Measure the per-module breakdown over real-pipeline profiles."""
+    ctx = ctx or default_context()
+    sums = {m: [] for m in ("QP", "PR", "PS", "PO", "AP")}
+    for prof in ctx.profiles(n_questions):
+        secs = prof.sequential_module_seconds(ctx.model)
+        for m, v in secs.items():
+            sums[m].append(v)
+    means = {m: float(np.mean(v)) for m, v in sums.items()}
+    total = sum(means.values())
+    rows = []
+    for m in ("QP", "PR", "PS", "PO", "AP"):
+        iterative, gran = _ITERATIVE[m]
+        rows.append(
+            ModuleRow(
+                module=m,
+                mean_seconds=means[m],
+                fraction=means[m] / total,
+                paper_fraction=PAPER_TABLE2[m],
+                iterative=iterative,
+                granularity=gran,
+            )
+        )
+    return rows
+
+
+def format_table2(rows: t.Sequence[ModuleRow]) -> str:
+    """Render Table 2 with the paper's percentage column."""
+    table = TextTable(
+        "Table 2: analysis of Q/A modules (TREC-9 column)",
+        ["Module", "Mean time (s)", "% of task", "Paper %", "Iterative?",
+         "Granularity"],
+    )
+    for r in rows:
+        table.add_row(
+            r.module,
+            r.mean_seconds,
+            f"{r.fraction * 100:.1f} %",
+            f"{r.paper_fraction * 100:.1f} %",
+            "Yes" if r.iterative else "No",
+            r.granularity,
+        )
+    total = sum(r.mean_seconds for r in rows)
+    table.add_row("TOTAL", total, "100.0 %", "100.0 %", "", "")
+    return table.render()

@@ -1,0 +1,51 @@
+"""Table 4 — practical upper limits on processor count (analytical).
+
+Regenerates the paper's bandwidth grid: for each (disk, network)
+bandwidth pair, the practical processor limit N_max = T_par/T_seq (Eq 34)
+and the corresponding question speedup, compared against the paper's
+published values.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..model import (
+    PAPER_TABLE4_N,
+    PAPER_TABLE4_S,
+    IntraLimit,
+    ModelParameters,
+    upper_limit_grid,
+)
+from .report import TextTable
+
+__all__ = ["run_table4", "format_table4"]
+
+
+def run_table4(params: ModelParameters | None = None) -> list[IntraLimit]:
+    """Regenerate the analytical Table 4 bandwidth grid."""
+    return upper_limit_grid(params or ModelParameters())
+
+
+def format_table4(grid: t.Sequence[IntraLimit]) -> str:
+    """Render Table 4 with per-cell paper comparison and match count."""
+    table = TextTable(
+        "Table 4: practical upper limits on processors and speedups",
+        ["Disk bw", "Net bw", "N", "Paper N", "S", "Paper S"],
+    )
+    exact = 0
+    for cell in grid:
+        key = (cell.b_disk_label, cell.b_net_label)
+        paper_n = PAPER_TABLE4_N.get(key, 0)
+        paper_s = PAPER_TABLE4_S.get(key, 0.0)
+        exact += cell.n_max == paper_n
+        table.add_row(
+            cell.b_disk_label,
+            cell.b_net_label,
+            cell.n_max,
+            paper_n,
+            cell.speedup,
+            paper_s,
+        )
+    rendered = table.render()
+    return rendered + f"\n{exact}/{len(grid)} N cells match the paper exactly."

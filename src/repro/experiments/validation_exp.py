@@ -1,0 +1,139 @@
+"""Extension: cross-validating the analytical model against the simulator.
+
+The paper validates its intra-question model against measurements
+(Table 10) but never closes the loop on the *inter*-question model (Eq
+23) — its Figure 8 is analytical only.  We can: run the high-load
+workload at several cluster sizes on the simulator, compute the measured
+system speedup (throughput(N) / throughput(1)), and compare with Eq 23's
+prediction at the same N.
+
+A second sweep varies the monitoring interval, quantifying the cost of
+stale load information — the knob behind every dispatcher decision.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import DistributedQASystem, Strategy, SystemConfig
+from ..model import ModelParameters, system_speedup
+from ..workload import staggered_arrivals, trec_mix_profiles
+from .report import TextTable
+
+__all__ = [
+    "SpeedupPoint",
+    "run_inter_validation",
+    "format_inter_validation",
+    "run_staleness_sweep",
+    "format_staleness_sweep",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupPoint:
+    n_nodes: int
+    measured_speedup: float
+    analytical_speedup: float
+
+
+def run_inter_validation(
+    node_counts: t.Sequence[int] = (1, 2, 4, 8, 12, 16),
+    questions_per_node: int = 6,
+    seeds: t.Sequence[int] = (11, 23),
+    params: ModelParameters | None = None,
+) -> list[SpeedupPoint]:
+    """Measured vs Eq-23 system speedup over cluster sizes.
+
+    Speedup is throughput per unit of work relative to the 1-node system
+    on a proportionally scaled workload (weak scaling, as Eq 23 assumes:
+    q questions per processor).
+    """
+    params = params or ModelParameters()
+    throughput: dict[int, float] = {}
+    for n in node_counts:
+        n_q = questions_per_node * n
+        acc = []
+        for seed in seeds:
+            profiles = trec_mix_profiles(n_q, seed=seed)
+            arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
+            system = DistributedQASystem(
+                SystemConfig(n_nodes=n, strategy=Strategy.DQA)
+            )
+            acc.append(system.run_workload(profiles, arrivals).throughput_qpm)
+        throughput[n] = float(np.mean(acc))
+    base = throughput[node_counts[0]] / node_counts[0]
+    return [
+        SpeedupPoint(
+            n_nodes=n,
+            measured_speedup=throughput[n] / base,
+            analytical_speedup=system_speedup(params, n),
+        )
+        for n in node_counts
+    ]
+
+
+def format_inter_validation(points: t.Sequence[SpeedupPoint]) -> str:
+    """Render the Eq-23-vs-simulation speedup comparison."""
+    table = TextTable(
+        "Extension: inter-question model (Eq 23) vs simulation",
+        ["Procs", "Measured speedup", "Analytical speedup", "ratio"],
+    )
+    for p in points:
+        ratio = (
+            p.measured_speedup / p.analytical_speedup
+            if p.analytical_speedup
+            else 0.0
+        )
+        table.add_row(
+            p.n_nodes, p.measured_speedup, p.analytical_speedup, f"{ratio:.2f}"
+        )
+    return table.render()
+
+
+def run_staleness_sweep(
+    intervals: t.Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+    n_nodes: int = 8,
+    seeds: t.Sequence[int] = (11, 23),
+) -> list[tuple[float, float, float]]:
+    """(interval, DQA throughput, mean response) per monitoring interval.
+
+    Longer intervals mean staler load tables: dispatch decisions degrade,
+    but monitoring traffic shrinks.  The paper fixes 1 s without
+    justification; this sweep shows the plateau it sits on.
+    """
+    from repro.workload import high_load_count
+
+    out = []
+    n_q = high_load_count(n_nodes)
+    for interval in intervals:
+        thr, resp = [], []
+        for seed in seeds:
+            profiles = trec_mix_profiles(n_q, seed=seed)
+            arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
+            system = DistributedQASystem(
+                SystemConfig(
+                    n_nodes=n_nodes,
+                    strategy=Strategy.DQA,
+                    monitor_interval_s=interval,
+                    membership_timeout_s=max(3.0, 3 * interval),
+                )
+            )
+            rep = system.run_workload(profiles, arrivals)
+            thr.append(rep.throughput_qpm)
+            resp.append(rep.mean_response_s)
+        out.append((interval, float(np.mean(thr)), float(np.mean(resp))))
+    return out
+
+
+def format_staleness_sweep(rows: t.Sequence[tuple[float, float, float]]) -> str:
+    """Render the monitoring-interval sweep as a text table."""
+    table = TextTable(
+        "Extension: load-broadcast interval (staleness) sweep, DQA, 8 nodes",
+        ["Interval (s)", "Throughput (q/min)", "Mean response (s)"],
+    )
+    for interval, thr, resp in rows:
+        table.add_row(interval, thr, resp)
+    return table.render()

@@ -1,0 +1,288 @@
+"""Lexico-semantic entity model and recognizer.
+
+The paper's answer-processing module identifies *candidate answers* as
+"lexico-semantic entities with the same type as the question answer type"
+(Section 2.1).  Falcon used a trained named-entity recognizer; our
+substitute combines:
+
+* a **gazetteer** — phrase -> type lookup populated from the synthetic
+  corpus' knowledge base (the corpus generator and the recognizer share
+  the same entity inventory, mirroring how Falcon's NER vocabulary covered
+  the TREC collection), and
+* **surface patterns** — dates, years, money, percentages, plain numbers,
+  honorific-marked person names, and unknown capitalized sequences.
+
+This keeps the *data flow* of the real system (text in, typed spans out)
+with a cost profile dominated by scanning, like the original.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as t
+from dataclasses import dataclass
+
+from .tokenizer import Token, is_capitalized, is_number_token, tokenize
+
+__all__ = ["EntityType", "Entity", "Gazetteer", "EntityRecognizer"]
+
+
+class EntityType(enum.Enum):
+    """Answer-entity taxonomy (superset of the paper's examples).
+
+    Table 1 of the paper shows DISEASE, LOCATION and NATIONALITY answers;
+    the TREC-8/9 question sets behind it also require the other classes.
+    """
+
+    PERSON = "PERSON"
+    LOCATION = "LOCATION"
+    ORGANIZATION = "ORGANIZATION"
+    DATE = "DATE"
+    MONEY = "MONEY"
+    NUMBER = "NUMBER"
+    PERCENT = "PERCENT"
+    NATIONALITY = "NATIONALITY"
+    DISEASE = "DISEASE"
+    DISTANCE = "DISTANCE"
+    DURATION = "DURATION"
+    PRODUCT = "PRODUCT"
+    DEFINITION = "DEFINITION"
+    UNKNOWN = "UNKNOWN"
+
+
+@dataclass(frozen=True, slots=True)
+class Entity:
+    """A typed text span."""
+
+    text: str
+    type: EntityType
+    start: int
+    end: int
+    token_start: int
+    token_end: int
+
+
+_MONTHS = frozenset(
+    "january february march april may june july august september october"
+    " november december".split()
+)
+
+_DISTANCE_UNITS = frozenset(
+    "mile miles kilometer kilometers km meter meters feet foot yards".split()
+)
+
+_DURATION_UNITS = frozenset(
+    "second seconds minute minutes hour hours day days week weeks month"
+    " months year years decade decades century centuries".split()
+)
+
+# Common nationality adjectives; the corpus knowledge base extends this.
+_NATIONALITIES = frozenset(
+    "american british french german italian spanish polish russian chinese"
+    " japanese indian mexican canadian australian brazilian egyptian greek"
+    " turkish dutch swedish norwegian danish irish scottish portuguese"
+    " austrian swiss belgian korean vietnamese thai argentine chilean".split()
+)
+
+_HONORIFICS = frozenset(
+    "mr mrs ms dr prof president senator general sir lady lord pope".split()
+)
+
+
+class Gazetteer:
+    """Longest-match phrase dictionary mapping surface forms to types."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, ...], EntityType] = {}
+        self._max_len = 1
+        #: First-word index so the scanner can skip non-starting tokens.
+        self._starts: set[str] = set()
+
+    def add(self, phrase: str, etype: EntityType) -> None:
+        """Register ``phrase`` (case-insensitive) as an entity of ``etype``."""
+        words = tuple(w.lower() for w in phrase.split())
+        if not words:
+            raise ValueError("empty gazetteer phrase")
+        self._entries[words] = etype
+        self._max_len = max(self._max_len, len(words))
+        self._starts.add(words[0])
+
+    def add_many(self, phrases: t.Iterable[str], etype: EntityType) -> None:
+        for p in phrases:
+            self.add(p, etype)
+
+    def lookup(self, words: t.Sequence[str]) -> EntityType | None:
+        return self._entries.get(tuple(w.lower() for w in words))
+
+    def may_start(self, word: str) -> bool:
+        return word.lower() in self._starts
+
+    @property
+    def max_phrase_len(self) -> int:
+        return self._max_len
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, phrase: str) -> bool:
+        return tuple(phrase.lower().split()) in self._entries
+
+
+class EntityRecognizer:
+    """Gazetteer + pattern entity recognizer.
+
+    Parameters
+    ----------
+    gazetteer:
+        Phrase dictionary (typically built by the corpus knowledge base).
+    extra_nationalities:
+        Additional nationality adjectives recognized beyond the built-ins.
+    """
+
+    def __init__(
+        self,
+        gazetteer: Gazetteer | None = None,
+        extra_nationalities: t.Iterable[str] = (),
+    ) -> None:
+        self.gazetteer = gazetteer or Gazetteer()
+        self._nationalities = _NATIONALITIES | {
+            n.lower() for n in extra_nationalities
+        }
+
+    # -- public API -----------------------------------------------------------
+    def recognize(self, text: str, tokens: list[Token] | None = None) -> list[Entity]:
+        """Find all entities in ``text`` (longest-match, left to right)."""
+        if tokens is None:
+            tokens = tokenize(text)
+        entities: list[Entity] = []
+        i = 0
+        n = len(tokens)
+        while i < n:
+            ent = self._match_at(text, tokens, i)
+            if ent is not None:
+                entities.append(ent)
+                i = ent.token_end
+            else:
+                i += 1
+        return entities
+
+    def recognize_typed(
+        self, text: str, etype: EntityType, tokens: list[Token] | None = None
+    ) -> list[Entity]:
+        """Entities of one type — what AP candidate detection needs.
+
+        UNKNOWN capitalized sequences are also returned for PERSON /
+        LOCATION / ORGANIZATION queries (Falcon treats out-of-vocabulary
+        proper names as weak candidates).
+        """
+        fuzzy = etype in (
+            EntityType.PERSON,
+            EntityType.LOCATION,
+            EntityType.ORGANIZATION,
+        )
+        out = []
+        for ent in self.recognize(text, tokens):
+            if ent.type is etype or (fuzzy and ent.type is EntityType.UNKNOWN):
+                out.append(ent)
+        return out
+
+    # -- matching internals -------------------------------------------------------
+    def _match_at(self, text: str, tokens: list[Token], i: int) -> Entity | None:
+        tok = tokens[i]
+
+        # 1. Gazetteer longest match.
+        if self.gazetteer.may_start(tok.text):
+            limit = min(len(tokens), i + self.gazetteer.max_phrase_len)
+            for j in range(limit, i, -1):
+                words = [tk.text for tk in tokens[i:j]]
+                etype = self.gazetteer.lookup(words)
+                if etype is not None:
+                    return self._make(text, tokens, i, j, etype)
+
+        # 2. Nationality adjectives.
+        if tok.lower in self._nationalities:
+            return self._make(text, tokens, i, i + 1, EntityType.NATIONALITY)
+
+        # 3. Dates: "<month> <num>(, <year>)" | "<month> <year>" | bare year.
+        if tok.lower in _MONTHS:
+            j = i + 1
+            if j < len(tokens) and is_number_token(tokens[j]):
+                j += 1
+                if (
+                    j + 1 < len(tokens)
+                    and tokens[j].text == ","
+                    and is_number_token(tokens[j + 1])
+                ):
+                    j += 2
+            return self._make(text, tokens, i, j, EntityType.DATE)
+        if is_number_token(tok) and self._looks_like_year(tok.text):
+            return self._make(text, tokens, i, i + 1, EntityType.DATE)
+
+        # 4. Money / percent / quantity+unit / plain numbers.
+        if is_number_token(tok):
+            if tok.text.startswith("$"):
+                j = i + 1
+                if j < len(tokens) and tokens[j].lower in ("million", "billion"):
+                    j += 1
+                return self._make(text, tokens, i, j, EntityType.MONEY)
+            if tok.text.endswith("%"):
+                return self._make(text, tokens, i, i + 1, EntityType.PERCENT)
+            if i + 1 < len(tokens):
+                nxt = tokens[i + 1].lower
+                if nxt in _DISTANCE_UNITS:
+                    return self._make(text, tokens, i, i + 2, EntityType.DISTANCE)
+                if nxt in _DURATION_UNITS:
+                    return self._make(text, tokens, i, i + 2, EntityType.DURATION)
+                if nxt == "percent":
+                    return self._make(text, tokens, i, i + 2, EntityType.PERCENT)
+            return self._make(text, tokens, i, i + 1, EntityType.NUMBER)
+
+        # 5. Honorific-marked person names: "Dr. Jane Doe" (the tokenizer
+        # splits the period off the honorific, so skip over it).
+        if tok.lower in _HONORIFICS and i + 1 < len(tokens):
+            j = i + 1
+            if j < len(tokens) and tokens[j].text == ".":
+                j += 1
+            name_start = j
+            while j < len(tokens) and is_capitalized(tokens[j]):
+                j += 1
+            if j > name_start:
+                return self._make(text, tokens, i, j, EntityType.PERSON)
+
+        # 6. Unknown capitalized run (not sentence-initial single stopword).
+        if is_capitalized(tok) and not self._sentence_initial_common(tokens, i):
+            j = i + 1
+            while j < len(tokens) and is_capitalized(tokens[j]):
+                # Stop if the extension is itself a gazetteer start that
+                # would be split off as its own entity anyway.
+                j += 1
+            return self._make(text, tokens, i, j, EntityType.UNKNOWN)
+
+        return None
+
+    @staticmethod
+    def _looks_like_year(text: str) -> bool:
+        return len(text) == 4 and text.isdigit() and text[0] in "12"
+
+    @staticmethod
+    def _sentence_initial_common(tokens: list[Token], i: int) -> bool:
+        """A capitalized common word right after start/period is not a name."""
+        from .stopwords import is_stopword
+
+        at_start = i == 0 or tokens[i - 1].text in ".!?"
+        return at_start and is_stopword(tokens[i].text)
+
+    @staticmethod
+    def _make(
+        text: str, tokens: list[Token], i: int, j: int, etype: EntityType
+    ) -> Entity:
+        start = tokens[i].start
+        end = tokens[j - 1].end
+        return Entity(
+            text=text[start:end],
+            type=etype,
+            start=start,
+            end=end,
+            token_start=i,
+            token_end=j,
+        )

@@ -1,0 +1,212 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+Falcon's Boolean retrieval matches morphological variants of the question
+keywords; classic IR systems of the era (including Zprise, the engine under
+Falcon's paragraph retrieval) used Porter stemming for exactly this.  The
+implementation below follows the original five-step definition.
+
+Reference: M. F. Porter, "An algorithm for suffix stripping", Program 14(3)
+1980, 130-137.
+"""
+
+from __future__ import annotations
+
+__all__ = ["stem"]
+
+_VOWELS = "aeiou"
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem_: str) -> int:
+    """The 'measure' m of a word: number of VC sequences."""
+    m = 0
+    i = 0
+    n = len(stem_)
+    # Skip initial consonants.
+    while i < n and _is_consonant(stem_, i):
+        i += 1
+    while i < n:
+        # Vowel run.
+        while i < n and not _is_consonant(stem_, i):
+            i += 1
+        if i >= n:
+            break
+        m += 1
+        # Consonant run.
+        while i < n and _is_consonant(stem_, i):
+            i += 1
+    return m
+
+
+def _contains_vowel(stem_: str) -> bool:
+    return any(not _is_consonant(stem_, i) for i in range(len(stem_)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """consonant-vowel-consonant where final consonant is not w, x or y."""
+    if len(word) < 3:
+        return False
+    return (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "wxy"
+    )
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str) -> str:
+    return word[: len(word) - len(suffix)] + replacement
+
+
+def _step1a(word: str) -> str:
+    if word.endswith("sses"):
+        return _replace_suffix(word, "sses", "ss")
+    if word.endswith("ies"):
+        return _replace_suffix(word, "ies", "i")
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem_ = word[:-3]
+        if _measure(stem_) > 0:
+            return word[:-1]
+        return word
+    flag = False
+    if word.endswith("ed") and _contains_vowel(word[:-2]):
+        word = word[:-2]
+        flag = True
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        word = word[:-3]
+        flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2 = [
+    ("ational", "ate"),
+    ("tional", "tion"),
+    ("enci", "ence"),
+    ("anci", "ance"),
+    ("izer", "ize"),
+    ("abli", "able"),
+    ("alli", "al"),
+    ("entli", "ent"),
+    ("eli", "e"),
+    ("ousli", "ous"),
+    ("ization", "ize"),
+    ("ation", "ate"),
+    ("ator", "ate"),
+    ("alism", "al"),
+    ("iveness", "ive"),
+    ("fulness", "ful"),
+    ("ousness", "ous"),
+    ("aliti", "al"),
+    ("iviti", "ive"),
+    ("biliti", "ble"),
+]
+
+_STEP3 = [
+    ("icate", "ic"),
+    ("ative", ""),
+    ("alize", "al"),
+    ("iciti", "ic"),
+    ("ical", "ic"),
+    ("ful", ""),
+    ("ness", ""),
+]
+
+_STEP4 = [
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+]
+
+
+def _apply_rules(word: str, rules: list[tuple[str, str]], min_measure: int) -> str:
+    for suffix, replacement in rules:
+        if word.endswith(suffix):
+            stem_ = word[: len(word) - len(suffix)]
+            if _measure(stem_) > min_measure - 1:
+                return stem_ + replacement
+            return word
+    return word
+
+
+def _step4(word: str) -> str:
+    for suffix in _STEP4:
+        if word.endswith(suffix):
+            stem_ = word[: len(word) - len(suffix)]
+            if _measure(stem_) > 1:
+                return stem_
+            return word
+    if word.endswith("ion"):
+        stem_ = word[:-3]
+        if stem_ and stem_[-1] in "st" and _measure(stem_) > 1:
+            return stem_
+    return word
+
+
+def _step5a(word: str) -> str:
+    if word.endswith("e"):
+        stem_ = word[:-1]
+        m = _measure(stem_)
+        if m > 1 or (m == 1 and not _ends_cvc(stem_)):
+            return stem_
+    return word
+
+
+def _step5b(word: str) -> str:
+    if word.endswith("ll") and _measure(word) > 1:
+        return word[:-1]
+    return word
+
+
+def stem(word: str) -> str:
+    """Return the Porter stem of ``word`` (lower-cased).
+
+    Words of length <= 2 are returned unchanged, as in the original paper.
+    """
+    word = word.lower()
+    if len(word) <= 2 or not word.isalpha():
+        return word
+    word = _step1a(word)
+    word = _step1b(word)
+    word = _step1c(word)
+    word = _apply_rules(word, _STEP2, min_measure=1)
+    word = _apply_rules(word, _STEP3, min_measure=1)
+    word = _step4(word)
+    word = _step5a(word)
+    word = _step5b(word)
+    return word

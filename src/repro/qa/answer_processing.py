@@ -1,0 +1,253 @@
+"""AP — answer processing module.
+
+The CPU-bound bottleneck (Table 3: 100 % CPU; Table 2: up to 69.7 % of the
+task).  Per Section 2.1:
+
+* candidate answers are "lexico-semantic entities with the same type as
+  the question answer type" found inside accepted paragraphs;
+* around each candidate the system builds an *answer window* — "a text
+  span that includes the candidate answer and one of each of the question
+  keywords";
+* each window is scored by "a combination of seven heuristics" using
+  frequency and distance metrics like PS's, but requiring the candidate.
+
+AP is iterative at paragraph granularity, and `extract` accepts any subset
+of scored paragraphs — the unit the AP partitioners distribute.  Each AP
+replica returns its local best ``n_answers``; the answer-sorting stage
+merges local results into the global order (Fig 3).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..nlp.entities import Entity, EntityRecognizer, EntityType
+from ..nlp.porter import stem
+from ..nlp.tokenizer import Token, tokenize
+from .question import Answer, ProcessedQuestion, ScoredParagraph
+
+__all__ = ["AnswerProcessor", "merge_answers"]
+
+# The seven answer-window heuristics' weights (empirical combination, in
+# the spirit of Falcon's [27]).  Names follow the docstring below.
+_W = {
+    "sequence": 1.0,
+    "keywords_in_window": 2.0,
+    "nearest_distance": 1.5,
+    "total_distance": 1.0,
+    "apposition": 0.5,
+    "coverage": 1.5,
+    "paragraph_rank": 1.0,
+}
+
+_WINDOW_RADIUS = 12  # tokens either side of the candidate
+_SHORT_BYTES = 50
+_LONG_BYTES = 250
+
+
+class AnswerProcessor:
+    """The AP module."""
+
+    def __init__(self, recognizer: EntityRecognizer, n_answers: int = 5) -> None:
+        if n_answers < 1:
+            raise ValueError("n_answers must be >= 1")
+        self.recognizer = recognizer
+        self.n_answers = n_answers
+
+    # -- public API --------------------------------------------------------------
+    def extract(
+        self,
+        processed: ProcessedQuestion,
+        accepted: t.Sequence[ScoredParagraph],
+    ) -> list[Answer]:
+        """Extract and rank answers from ``accepted`` paragraphs.
+
+        Returns the local best ``n_answers`` in descending score order.
+        """
+        answers: list[Answer] = []
+        max_rank = max((sp.score for sp in accepted), default=1.0) or 1.0
+        for sp in accepted:
+            answers.extend(self._process_paragraph(processed, sp, max_rank))
+        return merge_answers([answers], self.n_answers)
+
+    # -- internals ---------------------------------------------------------------
+    def _process_paragraph(
+        self,
+        processed: ProcessedQuestion,
+        sp: ScoredParagraph,
+        max_rank: float,
+    ) -> list[Answer]:
+        text = sp.paragraph.text
+        tokens = tokenize(text)
+        candidates = self._candidates(processed, text, tokens)
+        if not candidates:
+            return []
+
+        # Token positions of each keyword (stem match, phrases in order).
+        kstems = [kw.stems for kw in processed.keywords]
+        stems_at = [stem(tok.text) if tok.is_word else tok.text for tok in tokens]
+        kw_positions: list[list[int]] = []
+        for ks in kstems:
+            pos = [
+                i
+                for i in range(len(stems_at))
+                if stems_at[i] == ks[0]
+                and (
+                    len(ks) == 1
+                    or tuple(stems_at[i : i + len(ks)]) == tuple(ks)
+                )
+            ]
+            kw_positions.append(pos)
+        n_keywords = len(kstems) or 1
+        present_keywords = sum(1 for p in kw_positions if p)
+
+        out: list[Answer] = []
+        for cand in candidates:
+            score = self._score_window(
+                cand, tokens, kw_positions, present_keywords, n_keywords,
+                sp.score, max_rank,
+            )
+            if score <= 0.0:
+                continue
+            out.append(
+                Answer(
+                    text=cand.text,
+                    short=self._clip(text, cand, _SHORT_BYTES),
+                    long=self._clip(text, cand, _LONG_BYTES),
+                    score=score,
+                    paragraph_key=sp.paragraph.key,
+                    entity_type=cand.type,
+                )
+            )
+        return out
+
+    def _candidates(
+        self,
+        processed: ProcessedQuestion,
+        text: str,
+        tokens: list[Token],
+    ) -> list[Entity]:
+        """Typed entities matching the expected answer type.
+
+        For DEFINITION/UNKNOWN questions any entity qualifies (Falcon falls
+        back to its full entity inventory there).  Candidates that merely
+        repeat a question keyword are discarded — the question's own words
+        cannot answer it.
+        """
+        atype = processed.answer_type
+        if atype in (EntityType.DEFINITION, EntityType.UNKNOWN):
+            cands = self.recognizer.recognize(text, tokens)
+        else:
+            cands = self.recognizer.recognize_typed(text, atype, tokens)
+        question_stems = {
+            s for kw in processed.keywords for s in kw.stems
+        }
+        out = []
+        for c in cands:
+            cand_stems = {
+                stem(w) for w in c.text.split() if w and w[0].isalpha()
+            }
+            if cand_stems and cand_stems <= question_stems:
+                continue
+            out.append(c)
+        return out
+
+    def _score_window(
+        self,
+        cand: Entity,
+        tokens: list[Token],
+        kw_positions: list[list[int]],
+        present_keywords: int,
+        n_keywords: int,
+        paragraph_score: float,
+        max_rank: float,
+    ) -> float:
+        """Combine the seven heuristics for one candidate's window.
+
+        1. *sequence*: keywords adjacent to the candidate in question
+           order (frequency analogue of PS heuristic 1);
+        2. *keywords_in_window*: how many keywords fall inside the window;
+        3. *nearest_distance*: inverse distance to the closest keyword;
+        4. *total_distance*: inverse mean distance to all in-window
+           keywords;
+        5. *apposition*: candidate flanked by a comma/parenthesis —
+           appositions often restate the sought entity;
+        6. *coverage*: fraction of all question keywords present in the
+           paragraph;
+        7. *paragraph_rank*: the PS rank, normalised — answers from better
+           paragraphs win ties.
+        """
+        c_lo = cand.token_start
+        c_hi = cand.token_end - 1
+        w_lo = max(0, c_lo - _WINDOW_RADIUS)
+        w_hi = min(len(tokens) - 1, c_hi + _WINDOW_RADIUS)
+
+        in_window = 0
+        distances: list[int] = []
+        sequence = 0
+        prev_in = False
+        for pos_list in kw_positions:
+            best = None
+            for p in pos_list:
+                if w_lo <= p <= w_hi:
+                    d = min(abs(p - c_lo), abs(p - c_hi))
+                    if best is None or d < best:
+                        best = d
+            if best is not None:
+                in_window += 1
+                distances.append(best)
+                if best <= 2:
+                    sequence += 1 if prev_in else 0
+                prev_in = True
+            else:
+                prev_in = False
+        if in_window == 0:
+            return 0.0
+
+        nearest = min(distances)
+        mean_d = sum(distances) / len(distances)
+        apposition = 0.0
+        if c_lo > 0 and tokens[c_lo - 1].text in (",", "(", "-"):
+            apposition += 1.0
+        if c_hi + 1 < len(tokens) and tokens[c_hi + 1].text in (",", ")", "-"):
+            apposition += 1.0
+
+        return (
+            _W["sequence"] * sequence
+            + _W["keywords_in_window"] * in_window
+            + _W["nearest_distance"] / (1.0 + nearest)
+            + _W["total_distance"] / (1.0 + mean_d)
+            + _W["apposition"] * apposition
+            + _W["coverage"] * present_keywords / n_keywords
+            + _W["paragraph_rank"] * paragraph_score / max_rank
+        )
+
+    @staticmethod
+    def _clip(text: str, cand: Entity, nbytes: int) -> str:
+        """A ~``nbytes`` window of text centred on the candidate."""
+        margin = max(0, (nbytes - (cand.end - cand.start)) // 2)
+        lo = max(0, cand.start - margin)
+        hi = min(len(text), cand.end + margin)
+        return text[lo:hi]
+
+
+def merge_answers(
+    groups: t.Sequence[t.Sequence[Answer]], n_answers: int
+) -> list[Answer]:
+    """Answer merging + sorting (Fig 3's final stages).
+
+    Combines per-partition local answers, de-duplicates identical answer
+    texts (keeping the best-scoring window) and returns the global top
+    ``n_answers`` — the same output the sequential system would produce.
+    """
+    best: dict[str, Answer] = {}
+    for group in groups:
+        for ans in group:
+            key = ans.text.lower()
+            old = best.get(key)
+            if old is None or ans.score > old.score:
+                best[key] = ans
+    ranked = sorted(
+        best.values(), key=lambda a: (-a.score, a.paragraph_key, a.text)
+    )
+    return ranked[:n_answers]

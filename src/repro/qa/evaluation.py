@@ -1,0 +1,106 @@
+"""Answer-quality evaluation: the TREC-style scoring of the Q/A pipeline.
+
+The paper evaluates *performance*; its quality claims lean on Falcon's
+TREC results (66.4 % short / 86.1 % long answers correct).  This module
+provides the matching quality metrics for the reproduction's pipeline —
+mean reciprocal rank and precision@k over a generated question set with
+ground truth — so accuracy regressions are caught by tests rather than
+anecdotes.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from ..corpus.questions import TrecQuestion
+from .pipeline import QAPipeline
+from .question import QAResult
+
+__all__ = ["QuestionOutcome", "EvaluationReport", "evaluate"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionOutcome:
+    """One question's scoring."""
+
+    qid: int
+    question: str
+    expected: str
+    #: 1-based rank of the first correct answer; None when absent.
+    rank: int | None
+    top_answer: str
+
+    @property
+    def reciprocal_rank(self) -> float:
+        return 1.0 / self.rank if self.rank else 0.0
+
+
+@dataclass(slots=True)
+class EvaluationReport:
+    """Aggregate quality metrics over a question set."""
+
+    outcomes: list[QuestionOutcome] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def mrr(self) -> float:
+        """Mean reciprocal rank (the TREC-8/9 Q/A metric)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.reciprocal_rank for o in self.outcomes) / self.n
+
+    def precision_at(self, k: int) -> float:
+        """Fraction of questions answered within the top ``k``."""
+        if not self.outcomes:
+            return 0.0
+        hits = sum(1 for o in self.outcomes if o.rank is not None and o.rank <= k)
+        return hits / self.n
+
+    def misses(self) -> list[QuestionOutcome]:
+        """Questions with no correct answer returned (error analysis)."""
+        return [o for o in self.outcomes if o.rank is None]
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n} MRR={self.mrr:.3f} "
+            f"P@1={self.precision_at(1):.2f} P@5={self.precision_at(5):.2f}"
+        )
+
+
+def _answer_matches(answer_text: str, expected: str) -> bool:
+    """Lenient TREC-style match: either string contains the other."""
+    a = answer_text.lower().strip()
+    e = expected.lower().strip()
+    return bool(a) and (e in a or a in e)
+
+
+def score_result(question: TrecQuestion, result: QAResult) -> QuestionOutcome:
+    """Score one pipeline result against its ground truth."""
+    rank: int | None = None
+    for i, answer in enumerate(result.answers, start=1):
+        if _answer_matches(answer.text, question.expected_answer):
+            rank = i
+            break
+    return QuestionOutcome(
+        qid=question.qid,
+        question=question.text,
+        expected=question.expected_answer,
+        rank=rank,
+        top_answer=result.answers[0].text if result.answers else "",
+    )
+
+
+def evaluate(
+    pipeline: QAPipeline,
+    questions: t.Sequence[TrecQuestion],
+) -> EvaluationReport:
+    """Run the pipeline over ``questions`` and score every answer."""
+    report = EvaluationReport()
+    for q in questions:
+        result = pipeline.answer(q.text, qid=q.qid)
+        report.outcomes.append(score_result(q, result))
+    return report

@@ -1,0 +1,66 @@
+"""PO — paragraph ordering module.
+
+Sorts the scored paragraphs in descending rank order and passes only those
+above a threshold to answer processing (Section 2.1).  PO is inherently
+sequential ("the paragraph ordering time cannot be improved due to the
+inherent sequential nature of the corresponding module", Section 5.2) and
+is the reason the distributed design centralises paragraph merging: the
+partitioned system must accept *the same* paragraphs the sequential system
+would (Section 3.2).
+
+A useful side-effect the paper leans on (Section 4.1.3): the rank order is
+correlated with answer-processing cost, which is what makes the ISEND
+partitioner's interleaving balanced.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from .question import ScoredParagraph
+
+__all__ = ["ParagraphOrderer"]
+
+
+class ParagraphOrderer:
+    """The PO module.
+
+    Parameters
+    ----------
+    threshold_fraction:
+        Keep paragraphs scoring at least this fraction of the best score.
+    max_accepted:
+        Hard cap on paragraphs passed to AP (response-time guard).
+    """
+
+    def __init__(
+        self, threshold_fraction: float = 0.25, max_accepted: int = 600
+    ) -> None:
+        if not 0.0 <= threshold_fraction <= 1.0:
+            raise ValueError("threshold_fraction must be in [0, 1]")
+        if max_accepted < 1:
+            raise ValueError("max_accepted must be >= 1")
+        self.threshold_fraction = threshold_fraction
+        self.max_accepted = max_accepted
+
+    def order(
+        self, scored: t.Sequence[ScoredParagraph]
+    ) -> list[ScoredParagraph]:
+        """Sort descending by score and apply the acceptance threshold.
+
+        Ties break on (doc_id, paragraph index) so output order is total
+        and deterministic — a requirement for reproducing the sequential
+        system's output from the distributed one.
+        """
+        ordered = sorted(
+            scored,
+            key=lambda sp: (-sp.score, sp.paragraph.key),
+        )
+        if not ordered:
+            return []
+        best = ordered[0].score
+        if best <= 0.0:
+            return []
+        cutoff = best * self.threshold_fraction
+        accepted = [sp for sp in ordered if sp.score >= cutoff]
+        return accepted[: self.max_accepted]

@@ -1,0 +1,123 @@
+"""PS — paragraph scoring module.
+
+Assigns each retrieved paragraph a rank "using three surface-text
+heuristics [that] estimate the relevance of each paragraph based on the
+number of keywords present in the paragraph and the inter-keyword
+distance" (Section 2.1, citing the LASSO heuristics [27]):
+
+1. **same-word-sequence score** — how many adjacent keyword pairs of the
+   question appear in the same order, adjacent, in the paragraph;
+2. **distance score** — how tightly the matched keywords cluster (the span
+   of the densest window covering them);
+3. **missing-keyword score** — how many query keywords the paragraph
+   contains at all.
+
+PS is iterative at paragraph granularity (Table 2) and cheap (~2 % of task
+time), but it is partitioned together with PR in the distributed design
+(Fig 3 places PS replicas behind each PR replica).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..nlp.porter import stem
+from ..nlp.stopwords import is_stopword
+from ..nlp.tokenizer import tokenize
+from ..retrieval.paragraphs import Paragraph
+from .question import ProcessedQuestion, ScoredParagraph
+
+__all__ = ["ParagraphScorer", "keyword_positions"]
+
+# Heuristic combination weights (same spirit as LASSO's empirical weights).
+_W_SEQUENCE = 20.0
+_W_DISTANCE = 10.0
+_W_PRESENT = 50.0
+
+
+def keyword_positions(
+    text: str, keyword_stems: t.Sequence[tuple[str, ...]]
+) -> tuple[list[list[int]], list[str]]:
+    """Token positions of each keyword in ``text``.
+
+    Returns ``(positions, stems_at)`` where ``positions[k]`` lists token
+    indices where keyword ``k`` (matched by its first stem — phrase
+    keywords match on their head word with the rest verified in-order) and
+    ``stems_at`` is the stemmed token sequence.
+    """
+    tokens = tokenize(text)
+    stems_at = [
+        stem(tok.text) if tok.is_word else tok.text for tok in tokens
+    ]
+    positions: list[list[int]] = [[] for _ in keyword_stems]
+    for k, kstems in enumerate(keyword_stems):
+        head = kstems[0]
+        for i, s in enumerate(stems_at):
+            if s != head:
+                continue
+            if len(kstems) > 1:
+                # Verify the remaining stems follow in order.
+                if i + len(kstems) > len(stems_at):
+                    continue
+                if tuple(stems_at[i : i + len(kstems)]) != tuple(kstems):
+                    continue
+            positions[k].append(i)
+    return positions, stems_at
+
+
+class ParagraphScorer:
+    """The PS module."""
+
+    def score(
+        self, processed: ProcessedQuestion, paragraphs: t.Sequence[Paragraph]
+    ) -> list[ScoredParagraph]:
+        """Score every paragraph independently (embarrassingly parallel)."""
+        kstems = [kw.stems for kw in processed.keywords]
+        return [self.score_one(p, kstems) for p in paragraphs]
+
+    def score_one(
+        self, paragraph: Paragraph, kstems: t.Sequence[tuple[str, ...]]
+    ) -> ScoredParagraph:
+        positions, _ = keyword_positions(paragraph.text, kstems)
+        present = [k for k, pos in enumerate(positions) if pos]
+        n_present = len(present)
+        if n_present == 0:
+            return ScoredParagraph(paragraph, 0.0, 0)
+
+        # Heuristic 1: same-word-sequence — adjacent keyword pairs of the
+        # question appearing adjacently (within one token) in the paragraph.
+        seq = 0
+        for k in range(len(kstems) - 1):
+            if not positions[k] or not positions[k + 1]:
+                continue
+            firsts = set(positions[k])
+            if any(p - len(kstems[k]) in firsts or p - 1 in firsts
+                   for p in positions[k + 1]):
+                seq += 1
+
+        # Heuristic 2: distance — span of the tightest window containing
+        # one occurrence of each present keyword (greedy approximation:
+        # anchor at each occurrence of the rarest keyword).
+        rarest = min(present, key=lambda k: len(positions[k]))
+        best_span = None
+        for anchor in positions[rarest]:
+            lo = hi = anchor
+            ok = True
+            for k in present:
+                if k == rarest:
+                    continue
+                nearest = min(positions[k], key=lambda p: abs(p - anchor))
+                lo = min(lo, nearest)
+                hi = max(hi, nearest)
+            if ok:
+                span = hi - lo + 1
+                if best_span is None or span < best_span:
+                    best_span = span
+        distance_score = 1.0 / (1.0 + (best_span or 1) / max(1, n_present))
+
+        score = (
+            _W_PRESENT * n_present
+            + _W_SEQUENCE * seq
+            + _W_DISTANCE * distance_score
+        )
+        return ScoredParagraph(paragraph, score, n_present)

@@ -1,0 +1,105 @@
+"""The sequential Q/A pipeline (Figure 1), fully assembled.
+
+``QAPipeline.answer`` runs QP -> PR -> PS -> PO -> AP on one question and
+returns answers together with per-module wall-clock timings and work
+counters.  The timings feed Table 2-style module analysis; the work
+counters feed :mod:`repro.qa.profiles`, which converts real executed work
+into simulated durations on the modelled 2001-era hardware.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as t
+
+from ..nlp.entities import EntityRecognizer
+from ..retrieval.collection import IndexedCorpus
+from .answer_processing import AnswerProcessor
+from .paragraph_ordering import ParagraphOrderer
+from .paragraph_retrieval import ParagraphRetriever
+from .paragraph_scoring import ParagraphScorer
+from .question import ModuleTimings, ProcessedQuestion, QAResult, Question
+from .question_processing import QuestionProcessor
+
+__all__ = ["QAPipeline"]
+
+
+class QAPipeline:
+    """End-to-end sequential question answering.
+
+    Parameters
+    ----------
+    indexed:
+        The indexed corpus to search.
+    recognizer:
+        Entity recognizer shared by QP (keywords) and AP (candidates).
+    n_answers:
+        Answers returned per question (the paper's ``n_a``).
+    threshold_fraction / max_accepted:
+        PO acceptance policy.
+    """
+
+    def __init__(
+        self,
+        indexed: IndexedCorpus,
+        recognizer: EntityRecognizer,
+        n_answers: int = 5,
+        threshold_fraction: float = 0.25,
+        max_accepted: int = 600,
+    ) -> None:
+        self.indexed = indexed
+        self.recognizer = recognizer
+        self.qp = QuestionProcessor(recognizer)
+        self.pr = ParagraphRetriever(indexed)
+        self.ps = ParagraphScorer()
+        self.po = ParagraphOrderer(threshold_fraction, max_accepted)
+        self.ap = AnswerProcessor(recognizer, n_answers=n_answers)
+
+    def answer(self, question: Question | str, qid: int = 0) -> QAResult:
+        """Answer one question, timing each module."""
+        if isinstance(question, str):
+            question = Question(qid=qid, text=question)
+        timings = ModuleTimings()
+        work: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        processed = self.qp.process(question)
+        timings.qp = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        pr_result = self.pr.retrieve(processed)
+        timings.pr = time.perf_counter() - t0
+        work["pr_postings"] = float(pr_result.postings_scanned)
+        work["pr_doc_bytes"] = float(pr_result.doc_bytes_read)
+
+        t0 = time.perf_counter()
+        scored = self.ps.score(processed, pr_result.paragraphs)
+        timings.ps = time.perf_counter() - t0
+        work["ps_paragraph_bytes"] = float(
+            sum(p.size_bytes for p in pr_result.paragraphs)
+        )
+
+        t0 = time.perf_counter()
+        accepted = self.po.order(scored)
+        timings.po = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        answers = self.ap.extract(processed, accepted)
+        timings.ap = time.perf_counter() - t0
+        work["ap_paragraph_bytes"] = float(
+            sum(sp.paragraph.size_bytes for sp in accepted)
+        )
+        work["n_keywords"] = float(len(processed.keywords))
+
+        return QAResult(
+            processed=processed,
+            answers=answers,
+            n_retrieved=len(pr_result.paragraphs),
+            n_accepted=len(accepted),
+            timings=timings,
+            work=work,
+        )
+
+    # Expose module objects for partitioned (distributed) execution.
+    def process_question(self, question: Question) -> ProcessedQuestion:
+        return self.qp.process(question)

@@ -1,0 +1,21 @@
+"""Boolean information-retrieval substrate (the Zprise stand-in)."""
+
+from .boolean import BooleanRetriever, RetrievalResult
+from .collection import IndexedCorpus
+from .inverted_index import CollectionIndex, IndexStats, StemCache
+from .paragraphs import Paragraph, split_paragraphs
+from .prediction import QueryCostEstimate, predict_pr_cost, predict_pr_cost_corpus
+
+__all__ = [
+    "QueryCostEstimate",
+    "predict_pr_cost",
+    "predict_pr_cost_corpus",
+    "BooleanRetriever",
+    "CollectionIndex",
+    "IndexStats",
+    "IndexedCorpus",
+    "Paragraph",
+    "RetrievalResult",
+    "StemCache",
+    "split_paragraphs",
+]

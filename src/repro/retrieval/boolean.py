@@ -1,0 +1,135 @@
+"""Boolean retrieval with Falcon-style keyword relaxation.
+
+"Falcon currently uses a Boolean IR system, hence documents and paragraphs
+are not ranked after the PR phase" (Section 2.1).  The query is the AND of
+the selected keywords; when the conjunction matches too few documents the
+engine *relaxes* — drops the lowest-priority keyword — and retries, the
+LASSO/Falcon retrieval loop.
+
+The engine reports, along with its results, the work it performed
+(postings scanned, document bytes read) so the simulation's cost model can
+charge realistic disk time for each sub-collection.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from ..nlp.keywords import Keyword
+from .inverted_index import CollectionIndex
+from .paragraphs import Paragraph
+
+__all__ = ["RetrievalResult", "BooleanRetriever"]
+
+
+@dataclass(slots=True)
+class RetrievalResult:
+    """Outcome of retrieval against one sub-collection."""
+
+    collection_id: int
+    paragraphs: list[Paragraph]
+    #: Keywords actually used after relaxation.
+    used_keywords: list[Keyword]
+    #: Documents that matched the final conjunction.
+    matched_docs: list[int]
+    #: Work accounting for the cost model.
+    postings_scanned: int = 0
+    doc_bytes_read: int = 0
+    relaxation_rounds: int = 0
+
+
+class BooleanRetriever:
+    """Conjunctive Boolean retrieval over one :class:`CollectionIndex`.
+
+    Parameters
+    ----------
+    index:
+        The sub-collection index to search.
+    min_docs:
+        Relax the query until at least this many documents match (or only
+        one keyword is left).
+    paragraph_quorum:
+        Fraction of the (relaxed) query's keywords a paragraph must contain
+        to be extracted.  1.0 reproduces strict Boolean paragraph filtering;
+        lower values emulate Falcon's more permissive post-processing.
+    """
+
+    def __init__(
+        self,
+        index: CollectionIndex,
+        min_docs: int = 3,
+        paragraph_quorum: float = 0.5,
+    ) -> None:
+        if not 0.0 < paragraph_quorum <= 1.0:
+            raise ValueError("paragraph_quorum must be in (0, 1]")
+        if min_docs < 1:
+            raise ValueError("min_docs must be >= 1")
+        self.index = index
+        self.min_docs = min_docs
+        self.paragraph_quorum = paragraph_quorum
+
+    # -- public API ---------------------------------------------------------------
+    def retrieve(self, keywords: t.Sequence[Keyword]) -> RetrievalResult:
+        """Run the retrieval loop for ``keywords`` against this collection."""
+        result = RetrievalResult(
+            collection_id=self.index.collection_id,
+            paragraphs=[],
+            used_keywords=[],
+            matched_docs=[],
+        )
+        if not keywords:
+            return result
+
+        # Relaxation loop: drop the lowest-priority keyword until enough
+        # documents match.
+        active = sorted(keywords, key=lambda k: k.priority)
+        docs: set[int] = set()
+        while active:
+            docs = self._conjunction(active, result)
+            result.relaxation_rounds += 1
+            if len(docs) >= self.min_docs or len(active) == 1:
+                break
+            active = active[:-1]
+
+        result.used_keywords = list(active)
+        result.matched_docs = sorted(docs)
+        if not docs:
+            return result
+
+        # Paragraph extraction: read matching documents, keep paragraphs
+        # meeting the keyword quorum.
+        stems_per_kw = [set(kw.stems) for kw in active]
+        needed = max(1, int(round(self.paragraph_quorum * len(active))))
+        for doc_id in result.matched_docs:
+            result.doc_bytes_read += self.index.doc_bytes(doc_id)
+            for para, para_stems in self.index.paragraphs_of(doc_id):
+                present = sum(
+                    1 for kw_stems in stems_per_kw if kw_stems <= para_stems
+                )
+                if present >= needed:
+                    result.paragraphs.append(para)
+        return result
+
+    # -- internals ---------------------------------------------------------------
+    def _conjunction(
+        self, active: t.Sequence[Keyword], result: RetrievalResult
+    ) -> set[int]:
+        """Docs containing *every* stem of *every* active keyword."""
+        doc_sets: list[set[int]] = []
+        for kw in active:
+            for s in kw.stems:
+                postings = self.index.postings(s)
+                result.postings_scanned += len(postings)
+                if not postings:
+                    return set()
+                doc_sets.append(set(postings.keys()))
+        if not doc_sets:
+            return set()
+        doc_sets.sort(key=len)
+        docs = doc_sets[0]
+        for ds in doc_sets[1:]:
+            docs = docs & ds
+            if not docs:
+                return set()
+        return docs

@@ -1,0 +1,73 @@
+"""Corpus-wide index management.
+
+Builds and holds the per-sub-collection indexes ("each node has a copy of
+the TREC-9 collection ... divided into 8 sub-collections, separately
+indexed", Section 6) and offers corpus-level retrieval that iterates over
+sub-collections — the iterative structure (granularity: Collection, Table
+2) that both intra-question partitioning strategies exploit.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..corpus.generator import Corpus
+from ..nlp.keywords import Keyword
+from .boolean import BooleanRetriever, RetrievalResult
+from .inverted_index import CollectionIndex, StemCache
+
+__all__ = ["IndexedCorpus"]
+
+
+class IndexedCorpus:
+    """All sub-collection indexes of a corpus, with uniform retrieval."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        min_docs: int = 3,
+        paragraph_quorum: float = 0.5,
+    ) -> None:
+        self.corpus = corpus
+        stemmer = StemCache()
+        self.indexes: list[CollectionIndex] = [
+            CollectionIndex(coll, stemmer=stemmer)
+            for coll in corpus.collections
+        ]
+        self.retrievers: list[BooleanRetriever] = [
+            BooleanRetriever(ix, min_docs=min_docs, paragraph_quorum=paragraph_quorum)
+            for ix in self.indexes
+        ]
+
+    @property
+    def n_collections(self) -> int:
+        return len(self.indexes)
+
+    def retrieve_collection(
+        self, collection_id: int, keywords: t.Sequence[Keyword]
+    ) -> RetrievalResult:
+        """Retrieve from one sub-collection (the PR sub-task unit)."""
+        return self.retrievers[collection_id].retrieve(keywords)
+
+    def retrieve_all(
+        self, keywords: t.Sequence[Keyword]
+    ) -> list[RetrievalResult]:
+        """Retrieve from every sub-collection, in collection order."""
+        return [
+            self.retrieve_collection(cid, keywords)
+            for cid in range(self.n_collections)
+        ]
+
+    def document_frequency(self, stem: str) -> int:
+        """Corpus-wide document frequency of a stem."""
+        return sum(ix.document_frequency(stem) for ix in self.indexes)
+
+    def total_stats(self) -> dict[str, int]:
+        """Aggregate index statistics across sub-collections."""
+        return {
+            "n_documents": sum(ix.stats.n_documents for ix in self.indexes),
+            "n_paragraphs": sum(ix.stats.n_paragraphs for ix in self.indexes),
+            "n_postings": sum(ix.stats.n_postings for ix in self.indexes),
+            "text_bytes": sum(ix.stats.text_bytes for ix in self.indexes),
+            "index_bytes": sum(ix.stats.index_bytes for ix in self.indexes),
+        }

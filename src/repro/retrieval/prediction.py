@@ -1,0 +1,88 @@
+"""Query-time prediction from term statistics (Cahoon/McKinley/Lu [7]).
+
+The paper's related-work section notes "an interesting result obtained in
+[7] is a query time evaluation heuristic based on the number of query
+terms and their frequencies in the given collection.  Such information
+could be used by the load balancing mechanism, but unfortunately it does
+not apply to question/answering" — because the NLP modules, not
+retrieval, dominate a Q/A task.
+
+This module implements that heuristic so the claim can be *tested*:
+:func:`predict_pr_cost` estimates paragraph-retrieval work from posting
+statistics alone.  The accompanying experiment
+(:mod:`repro.experiments.prediction_exp`) shows the estimate correlates
+strongly with the PR module's actual cost but only weakly with total
+question cost — quantifying exactly why the paper's dispatchers rely on
+load feedback rather than a priori query-cost prediction.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from ..nlp.keywords import Keyword
+from .collection import IndexedCorpus
+from .inverted_index import CollectionIndex
+
+__all__ = ["QueryCostEstimate", "predict_pr_cost", "predict_pr_cost_corpus"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryCostEstimate:
+    """Predicted retrieval work for one query against one collection."""
+
+    n_terms: int
+    postings_estimate: float
+    doc_bytes_estimate: float
+
+    @property
+    def work_units(self) -> float:
+        """A single scalar: bytes-equivalent work (8 bytes per posting)."""
+        return 8.0 * self.postings_estimate + self.doc_bytes_estimate
+
+
+def predict_pr_cost(
+    index: CollectionIndex,
+    keywords: t.Sequence[Keyword],
+    min_docs: int = 3,
+) -> QueryCostEstimate:
+    """Estimate PR work from term count and document frequencies.
+
+    The heuristic of [7], adapted to Falcon's relaxation loop: each round
+    scans the active terms' posting lists; the conjunction size is
+    approximated by the rarest active term's document frequency; when the
+    estimate falls short of ``min_docs`` the lowest-priority keyword is
+    dropped and the round repeats — the same control flow the real
+    retriever executes, driven by statistics only.
+    """
+    active = sorted(keywords, key=lambda k: k.priority)
+    if not active:
+        return QueryCostEstimate(0, 0.0, 0.0)
+    n_docs = max(1, index.stats.n_documents)
+    mean_doc_bytes = index.stats.text_bytes / n_docs
+
+    postings = 0.0
+    n_terms = sum(len(kw.stems) for kw in active)
+    conjunction_docs = 0.0
+    while active:
+        dfs = [index.document_frequency(s) for kw in active for s in kw.stems]
+        postings += float(sum(dfs))
+        conjunction_docs = float(min(dfs)) if dfs else 0.0
+        if conjunction_docs >= min_docs or len(active) == 1:
+            break
+        active = active[:-1]
+    return QueryCostEstimate(
+        n_terms=n_terms,
+        postings_estimate=postings,
+        doc_bytes_estimate=conjunction_docs * mean_doc_bytes,
+    )
+
+
+def predict_pr_cost_corpus(
+    indexed: IndexedCorpus, keywords: t.Sequence[Keyword]
+) -> float:
+    """Corpus-wide predicted work units (summed over sub-collections)."""
+    return sum(
+        predict_pr_cost(ix, keywords).work_units for ix in indexed.indexes
+    )

@@ -1,0 +1,281 @@
+"""Deterministic discrete-event simulation engine.
+
+This module provides :class:`Environment` (the event loop) and
+:class:`Process` (a generator-based simulation process).  Together with the
+resource models in :mod:`repro.simulation.resources` and the network model in
+:mod:`repro.simulation.network`, it forms the substrate on which the
+distributed Q/A cluster of the paper is reproduced.
+
+Design notes
+------------
+* The event queue is a binary heap ordered by ``(time, priority, seq)``.
+  ``seq`` is a monotonically increasing counter, so simulations are fully
+  deterministic — two events scheduled for the same instant fire in the
+  order they were scheduled.
+* Processes are plain Python generators.  ``yield event`` suspends the
+  process until the event fires; the event's value is returned by the
+  ``yield`` expression (or its exception raised).
+* A process is itself an :class:`~repro.simulation.events.Event` that fires
+  when the generator returns, enabling fork/join patterns
+  (``yield env.all_of([env.process(worker(i)) for i in ...])``) — the same
+  pattern the paper's sender-controlled distribution loop (Fig 5c) uses with
+  one monitoring thread per worker.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as t
+
+from .events import (
+    _PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+__all__ = ["Environment", "Process", "EmptySchedule"]
+
+#: Default priority for scheduled events; urgent (interrupt) events use 0.
+_NORMAL = 1
+_URGENT = 0
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process event fires when the generator finishes; its value is the
+    generator's return value.  If the generator raises, the process event
+    fails with that exception (propagating to any process waiting on it)
+    unless nobody waits, in which case the exception surfaces out of
+    :meth:`Environment.run` to avoid silently swallowed bugs.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: t.Generator[Event, object, object],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick-start on the next queue iteration at the current time.
+        bootstrap = Event(env, name=f"init:{self.name}")
+        bootstrap.callbacks.append(self._resume)  # type: ignore[union-attr]
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._schedule(bootstrap, delay=0.0, priority=_URGENT)
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        hub = Event(self.env, name=f"interrupt:{self.name}")
+        hub._ok = False
+        hub._value = Interrupt(cause)
+        hub.callbacks.append(self._resume)  # type: ignore[union-attr]
+        self.env._schedule(hub, delay=0.0, priority=_URGENT)
+
+    # -- engine internals -----------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the trigger event's outcome."""
+        if not self.is_alive:
+            return  # e.g. interrupted after normal completion scheduling
+        # Detach from the event we were waiting on (interrupt case).
+        waiting = self._waiting_on
+        if waiting is not None and waiting is not trigger:
+            if waiting.callbacks is not None:
+                try:
+                    waiting.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        self._waiting_on = None
+
+        self.env._active_process = self
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                exc = t.cast(BaseException, trigger.value)
+                target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if self.callbacks:
+                self.fail(exc)
+                return
+            # Nobody is listening: crash the simulation loudly.
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self, delay=0.0)
+            self.env._crashed = (self, exc)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded a non-event: {target!r}"
+            )
+        if target.env is not self.env:
+            raise SimulationError("cannot wait on an event from another environment")
+        if target.callbacks is None:
+            # Already processed: resume immediately (same timestamp).
+            hub = Event(self.env, name=f"replay:{self.name}")
+            hub._ok = target.ok
+            hub._value = target._value
+            hub.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self.env._schedule(hub, delay=0.0, priority=_URGENT)
+            self._waiting_on = hub
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Environment:
+    """The simulation clock and event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Process | None = None
+        self._crashed: tuple[Process, BaseException] | None = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event construction ---------------------------------------------------
+    def event(self, name: str | None = None) -> Event:
+        """Create a new pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: t.Generator[Event, object, object],
+        name: str | None = None,
+    ) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: t.Sequence[Event]) -> AllOf:
+        """Event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: t.Sequence[Event]) -> AnyOf:
+        """Event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling / running ---------------------------------------------------
+    def _schedule(
+        self, event: Event, delay: float, priority: int = _NORMAL
+    ) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when queue is empty)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+        if self._crashed is not None:
+            proc, exc = self._crashed
+            self._crashed = None
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            sentinel: list[object] = []
+
+            def _done(evt: Event) -> None:
+                sentinel.append(evt)
+
+            if target.callbacks is None:
+                sentinel.append(target)
+            else:
+                target.callbacks.append(_done)
+            while not sentinel:
+                if not self._queue:
+                    raise SimulationError(
+                        f"simulation ran out of events before {target!r} fired"
+                    )
+                self.step()
+            if not target.ok:
+                raise t.cast(BaseException, target._value)
+            return target.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"cannot run backwards to t={horizon} (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

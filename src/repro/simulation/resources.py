@@ -1,0 +1,270 @@
+"""Fair-share resource models: CPU, disk, and memory.
+
+The paper's cluster nodes contend for three resources (Section 2.2): the
+CPU (answer processing is CPU-bound), the disk (paragraph retrieval is
+I/O-bound), and dynamic memory (more than four simultaneous questions cause
+page thrashing).  We model CPU and disk as *egalitarian processor-sharing*
+servers: a resource with capacity ``C`` units/second serves its ``n``
+active jobs at ``C·w_i/Σw`` each.  This is the standard fluid model of a
+time-sliced CPU or a disk shared by concurrent streams, and it is what
+makes the paper's contention effects (e.g. four simultaneous PR phases
+quartering each other's disk bandwidth) emerge rather than being scripted.
+
+The implementation uses the classic *virtual time* technique from
+generalized processor sharing: virtual time advances at rate ``C/Σw``, a
+job with demand ``D`` and weight ``w`` finishes when virtual time has
+advanced by ``D/w`` since its arrival.  Membership changes and capacity
+changes are O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as t
+
+from .engine import Environment
+from .events import Event, SimulationError
+from .statistics import TimeWeightedSignal
+
+__all__ = ["FairShareResource", "Job", "MemoryResource"]
+
+
+class Job:
+    """Handle for one in-flight demand on a :class:`FairShareResource`."""
+
+    __slots__ = ("event", "demand", "weight", "_target_v", "_cancelled", "tag")
+
+    def __init__(self, event: Event, demand: float, weight: float, tag: object) -> None:
+        self.event = event
+        self.demand = demand
+        self.weight = weight
+        self._target_v = 0.0
+        self._cancelled = False
+        self.tag = tag
+
+    @property
+    def done(self) -> bool:
+        return self.event.triggered
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class FairShareResource:
+    """An egalitarian (weighted) processor-sharing server.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Service rate in units/second (e.g. CPU-seconds/second == 1.0 for a
+        reference CPU, or bytes/second for a disk).
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, env: Environment, capacity: float, name: str = "resource") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.name = name
+        self._capacity = float(capacity)
+        self._jobs: set[Job] = set()
+        self._heap: list[tuple[float, int, Job]] = []
+        self._seq = itertools.count()
+        self._vtime = 0.0
+        self._t_last = env.now
+        self._weight_sum = 0.0
+        self._wakeup: Event | None = None
+        #: Number of active jobs over time — feeds load metrics.
+        self.active_jobs = TimeWeightedSignal(0.0, env.now)
+        #: Busy (≥1 job) indicator over time — feeds utilisation metrics.
+        self.busy = TimeWeightedSignal(0.0, env.now)
+        #: Total demand completed, for accounting.
+        self.completed_units = 0.0
+        #: Service already delivered to jobs that were later cancelled —
+        #: without this the books would leak a cancelled job's progress.
+        self.cancelled_units = 0.0
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def n_active(self) -> int:
+        return len(self._jobs)
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the service rate (e.g. memory-thrash slowdown).
+
+        In-flight jobs keep their already-received service; remaining work
+        proceeds at the new rate.
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._advance()
+        self._capacity = float(capacity)
+        self._reschedule()
+
+    def use(self, demand: float, weight: float = 1.0, tag: object = None) -> Job:
+        """Submit a demand; the returned job's ``event`` fires on completion.
+
+        A zero demand completes immediately (still passing through the event
+        queue, so ordering stays deterministic).
+        """
+        if demand < 0:
+            raise ValueError(f"negative demand: {demand}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive: {weight}")
+        event = self.env.event(name=f"{self.name}.use({demand:.6g})")
+        job = Job(event, float(demand), float(weight), tag)
+        if demand == 0.0:
+            event.succeed(0.0)
+            return job
+        self._advance()
+        job._target_v = self._vtime + demand / weight
+        self._jobs.add(job)
+        self._weight_sum += weight
+        heapq.heappush(self._heap, (job._target_v, next(self._seq), job))
+        now = self.env.now
+        self.active_jobs.add(now, 1.0)
+        if len(self._jobs) == 1:
+            self.busy.set(now, 1.0)
+        self._reschedule()
+        return job
+
+    def cancel(self, job: Job) -> float:
+        """Abort an in-flight job, returning its unserved demand.
+
+        The job's event is *not* triggered.  Cancelling a finished or
+        already-cancelled job returns 0.
+        """
+        if job.cancelled or job.done or job not in self._jobs:
+            return 0.0
+        self._advance()
+        remaining = max(0.0, (job._target_v - self._vtime) * job.weight)
+        self.cancelled_units += job.demand - remaining
+        job._cancelled = True
+        self._remove(job)
+        self._reschedule()
+        return remaining
+
+    def utilization(self, checkpoint: tuple[float, float]) -> float:
+        """Fraction of time busy since a ``busy.checkpoint()`` snapshot."""
+        return self.busy.average(checkpoint, self.env.now)
+
+    # -- internals -------------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.env.now
+        if self._weight_sum > 0:
+            self._vtime += (now - self._t_last) * self._capacity / self._weight_sum
+        self._t_last = now
+
+    def _remove(self, job: Job) -> None:
+        self._jobs.discard(job)
+        self._weight_sum -= job.weight
+        if self._weight_sum < 1e-12:
+            self._weight_sum = 0.0 if not self._jobs else sum(
+                j.weight for j in self._jobs
+            )
+        now = self.env.now
+        self.active_jobs.add(now, -1.0)
+        if not self._jobs:
+            self.busy.set(now, 0.0)
+
+    def _reschedule(self) -> None:
+        """(Re)arm the completion timer for the earliest-finishing job."""
+        # A superseded timer is detected in _on_wakeup by identity check;
+        # simply forgetting it here is enough.
+        self._wakeup = None
+        # Drop cancelled/stale heap entries.
+        while self._heap and (
+            self._heap[0][2].cancelled or self._heap[0][2].done
+        ):
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return
+        target_v, _, _ = self._heap[0]
+        dt = max(0.0, (target_v - self._vtime) * self._weight_sum / self._capacity)
+        wakeup = self.env.timeout(dt)
+        self._wakeup = wakeup
+        wakeup.callbacks.append(self._on_wakeup)  # type: ignore[union-attr]
+
+    def _on_wakeup(self, evt: Event) -> None:
+        if self._wakeup is not evt:
+            return  # stale timer superseded by a membership change
+        self._wakeup = None
+        self._advance()
+        # Complete every job whose virtual target has been reached (ties
+        # complete together, e.g. equal demands started together).
+        eps = 1e-9 * max(1.0, abs(self._vtime))
+        while self._heap and (
+            self._heap[0][2].cancelled
+            or self._heap[0][2].done
+            or self._heap[0][0] <= self._vtime + eps
+        ):
+            _, _, job = heapq.heappop(self._heap)
+            if job.cancelled or job.done:
+                continue
+            self._remove(job)
+            self.completed_units += job.demand
+            job.event.succeed(job.demand)
+        self._reschedule()
+
+
+class MemoryResource:
+    """A counting resource with overcommit tracking.
+
+    Memory differs from CPU/disk: allocation is instantaneous, but *over*-
+    allocating (beyond physical capacity) degrades the node — the paper
+    observes "excessive page swapping caused by the lack of dynamic memory"
+    at >4 simultaneous questions on 256 MB nodes.  A registered pressure
+    callback lets the owning node translate overcommit into a CPU slowdown.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity_bytes: float,
+        name: str = "memory",
+        on_pressure_change: t.Callable[[float], None] | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("memory capacity must be positive")
+        self.env = env
+        self.name = name
+        self.capacity = float(capacity_bytes)
+        self.allocated = 0.0
+        self.peak = 0.0
+        self._on_pressure_change = on_pressure_change
+        self.level = TimeWeightedSignal(0.0, env.now)
+
+    @property
+    def overcommit(self) -> float:
+        """Allocation beyond physical capacity, as a fraction of capacity."""
+        return max(0.0, self.allocated - self.capacity) / self.capacity
+
+    def allocate(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        self.allocated += nbytes
+        self.peak = max(self.peak, self.allocated)
+        self.level.set(self.env.now, self.allocated)
+        if self._on_pressure_change is not None:
+            self._on_pressure_change(self.overcommit)
+
+    def release(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative release: {nbytes}")
+        if nbytes > self.allocated + 1e-6:
+            raise SimulationError(
+                f"{self.name}: releasing {nbytes} > allocated {self.allocated}"
+            )
+        self.allocated = max(0.0, self.allocated - nbytes)
+        self.level.set(self.env.now, self.allocated)
+        if self._on_pressure_change is not None:
+            self._on_pressure_change(self.overcommit)

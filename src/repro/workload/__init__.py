@@ -1,0 +1,19 @@
+"""Workload generation and metric summaries."""
+
+from .arrivals import (
+    high_load_count,
+    poisson_arrivals,
+    staggered_arrivals,
+    trec_mix_profiles,
+)
+from .metrics import LatencySummary, speedup_table, summarize_latencies
+
+__all__ = [
+    "LatencySummary",
+    "high_load_count",
+    "poisson_arrivals",
+    "speedup_table",
+    "staggered_arrivals",
+    "summarize_latencies",
+    "trec_mix_profiles",
+]

@@ -1,0 +1,57 @@
+"""Metric summaries shared by the experiments and benchmarks."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.system import WorkloadReport
+
+__all__ = ["LatencySummary", "summarize_latencies", "speedup_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """Distributional summary of question response times."""
+
+    n: int
+    mean_s: float
+    median_s: float
+    p95_s: float
+    min_s: float
+    max_s: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean_s:.2f}s median={self.median_s:.2f}s "
+            f"p95={self.p95_s:.2f}s range=[{self.min_s:.2f}, {self.max_s:.2f}]"
+        )
+
+
+def summarize_latencies(report: "WorkloadReport") -> LatencySummary:
+    """Summarize a workload report's response-time distribution."""
+    times = np.array([r.response_time for r in report.results], dtype=float)
+    if times.size == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return LatencySummary(
+        n=int(times.size),
+        mean_s=float(times.mean()),
+        median_s=float(np.median(times)),
+        p95_s=float(np.percentile(times, 95)),
+        min_s=float(times.min()),
+        max_s=float(times.max()),
+    )
+
+
+def speedup_table(
+    baseline: t.Mapping[str, float], parallel: t.Mapping[str, float]
+) -> dict[str, float]:
+    """Per-key speedup of ``baseline`` over ``parallel`` (0 when undefined)."""
+    out: dict[str, float] = {}
+    for key, base in baseline.items():
+        par = parallel.get(key, 0.0)
+        out[key] = base / par if par > 0 else 0.0
+    return out

@@ -1,0 +1,107 @@
+"""Tests for load functions and under-load conditions (Eq 1-3, 7-8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AP_WEIGHTS,
+    PR_WEIGHTS,
+    QA_WEIGHTS,
+    LoadSnapshot,
+    ResourceWeights,
+    is_underloaded,
+    load_function,
+    single_task_load,
+)
+
+
+def snap(cpu=0.0, disk=0.0, n_questions=0, n_waiting=0, node_id=0, ts=0.0):
+    return LoadSnapshot(
+        node_id=node_id,
+        cpu_load=cpu,
+        disk_load=disk,
+        n_questions=n_questions,
+        timestamp=ts,
+        n_waiting=n_waiting,
+    )
+
+
+class TestWeights:
+    def test_paper_values(self):
+        assert (QA_WEIGHTS.cpu, QA_WEIGHTS.disk) == (0.79, 0.21)
+        assert (PR_WEIGHTS.cpu, PR_WEIGHTS.disk) == (0.20, 0.80)
+        assert (AP_WEIGHTS.cpu, AP_WEIGHTS.disk) == (1.00, 0.00)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ResourceWeights(0.5, 0.4)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceWeights(-0.1, 1.1)
+
+
+class TestLoadFunction:
+    def test_eq1_weighted_combination(self):
+        s = snap(cpu=1.0, disk=0.5)
+        assert load_function(QA_WEIGHTS, s) == pytest.approx(
+            0.79 * 1.0 + 0.21 * 0.5
+        )
+
+    def test_ap_ignores_disk(self):
+        assert load_function(AP_WEIGHTS, snap(cpu=0.3, disk=5.0)) == pytest.approx(0.3)
+
+    def test_waiting_questions_add_average_load(self):
+        idle = snap()
+        queued = snap(n_waiting=2)
+        delta = load_function(QA_WEIGHTS, queued) - load_function(QA_WEIGHTS, idle)
+        assert delta == pytest.approx(2 * (0.79 * 0.79 + 0.21 * 0.21))
+
+    @given(
+        cpu=st.floats(min_value=0, max_value=10),
+        disk=st.floats(min_value=0, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_both_resources(self, cpu, disk):
+        base = load_function(PR_WEIGHTS, snap(cpu=cpu, disk=disk))
+        more_cpu = load_function(PR_WEIGHTS, snap(cpu=cpu + 1, disk=disk))
+        more_disk = load_function(PR_WEIGHTS, snap(cpu=cpu, disk=disk + 1))
+        assert more_cpu >= base
+        assert more_disk > base
+
+
+class TestSingleTaskLoad:
+    def test_closed_form(self):
+        assert single_task_load(PR_WEIGHTS) == pytest.approx(0.2**2 + 0.8**2)
+        assert single_task_load(AP_WEIGHTS) == pytest.approx(1.0)
+        assert single_task_load(QA_WEIGHTS) == pytest.approx(0.6682)
+
+
+class TestUnderload:
+    def test_idle_node_underloaded_for_everything(self):
+        s = snap()
+        for w in (QA_WEIGHTS, PR_WEIGHTS, AP_WEIGHTS):
+            assert is_underloaded(w, s)
+
+    def test_busy_node_not_underloaded(self):
+        s = snap(cpu=3.0, disk=2.0)
+        for w in (QA_WEIGHTS, PR_WEIGHTS, AP_WEIGHTS):
+            assert not is_underloaded(w, s)
+
+    def test_cpu_busy_disk_idle_is_pr_underloaded(self):
+        """The paper's key insight: a node saturated on CPU (running AP)
+        still has its disk available for a PR sub-task."""
+        s = snap(cpu=1.0, disk=0.0)
+        assert is_underloaded(PR_WEIGHTS, s, margin=1.0)
+        assert not is_underloaded(AP_WEIGHTS, s, margin=1.0)
+
+    def test_disk_busy_cpu_idle_is_ap_underloaded(self):
+        s = snap(cpu=0.0, disk=1.0)
+        assert is_underloaded(AP_WEIGHTS, s, margin=1.0)
+        assert not is_underloaded(PR_WEIGHTS, s, margin=1.0)
+
+    def test_margin_scales_threshold(self):
+        s = snap(cpu=0.9)
+        assert not is_underloaded(AP_WEIGHTS, s, margin=0.5)
+        assert is_underloaded(AP_WEIGHTS, s, margin=1.5)

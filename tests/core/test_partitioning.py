@@ -1,0 +1,292 @@
+"""Tests for SEND / ISEND / RECV partitioning and distribution loops."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    WorkerFailed,
+    make_chunks,
+    partition_isend,
+    partition_send,
+    run_receiver_controlled,
+    run_sender_controlled,
+)
+from repro.simulation import Environment
+
+
+class TestPartitionSend:
+    def test_contiguous_blocks(self):
+        parts = partition_send(list(range(10)), [0.5, 0.5])
+        assert parts == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+
+    def test_weighted_sizes(self):
+        parts = partition_send(list(range(10)), [0.8, 0.2])
+        assert len(parts[0]) == 8
+        assert len(parts[1]) == 2
+
+    def test_all_items_exactly_once(self):
+        items = list(range(17))
+        parts = partition_send(items, [0.3, 0.3, 0.4])
+        flat = [x for p in parts for x in p]
+        assert flat == items
+
+    def test_empty_items(self):
+        assert partition_send([], [1.0, 1.0]) == [[], []]
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            partition_send([1], [])
+        with pytest.raises(ValueError):
+            partition_send([1], [-1.0, 2.0])
+        with pytest.raises(ValueError):
+            partition_send([1], [0.0, 0.0])
+
+    @given(
+        n=st.integers(min_value=0, max_value=100),
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=10), min_size=1, max_size=8
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_apportionment_property(self, n, weights):
+        items = list(range(n))
+        parts = partition_send(items, weights)
+        # Partition count matches weights; all items exactly once, order kept.
+        assert len(parts) == len(weights)
+        assert [x for p in parts for x in p] == items
+        # Each size within 1 of the exact proportional share.
+        total = sum(weights)
+        for part, w in zip(parts, weights):
+            assert abs(len(part) - n * w / total) < 1.0 + 1e-9
+
+
+class TestPartitionIsend:
+    def test_interleaves_rank_ordered_items(self):
+        parts = partition_isend(list(range(8)), [0.5, 0.5])
+        # Each partition receives alternating items, so both carry a mix
+        # of early (expensive) and late (cheap) ranks.
+        assert len(parts[0]) == len(parts[1]) == 4
+        assert parts[0][0] == 0
+        assert parts[1][0] == 1
+
+    def test_cost_balance_on_decaying_costs(self):
+        """On rank-decaying costs, ISEND's partitions are much better
+        balanced than SEND's — the Section 4.1.3 observation."""
+        costs = [1.0 / (1 + i) for i in range(100)]
+        weights = [0.25] * 4
+
+        def spread(parts):
+            sums = [sum(p) for p in parts]
+            return max(sums) - min(sums)
+
+        send_spread = spread(partition_send(costs, weights))
+        isend_spread = spread(partition_isend(costs, weights))
+        assert isend_spread < send_spread / 3
+
+    @given(
+        n=st.integers(min_value=0, max_value=80),
+        weights=st.lists(
+            st.floats(min_value=0.05, max_value=5), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_property(self, n, weights):
+        items = list(range(n))
+        parts = partition_isend(items, weights)
+        flat = sorted(x for p in parts for x in p)
+        assert flat == items
+        for part in parts:
+            assert part == sorted(part)  # order preserved within partition
+
+
+class TestMakeChunks:
+    def test_even_split(self):
+        chunks = make_chunks(list(range(8)), 4)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_remainder_extends_last_chunk(self):
+        chunks = make_chunks(list(range(10)), 4)
+        assert [len(c) for c in chunks] == [4, 6]
+
+    def test_chunk_larger_than_input(self):
+        chunks = make_chunks([1, 2], 10)
+        assert chunks == [[1, 2]]
+
+    def test_empty(self):
+        assert make_chunks([], 5) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            make_chunks([1], 0)
+
+    @given(
+        n=st.integers(min_value=0, max_value=200),
+        size=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_chunks_partition_input(self, n, size):
+        items = list(range(n))
+        chunks = make_chunks(items, size)
+        assert [x for c in chunks for x in c] == items
+        if n >= size:
+            assert all(len(c) >= size for c in chunks)
+            assert len(chunks) == n // size
+
+
+class _FakeCluster:
+    """Executor harness: per-node speeds and scripted failures."""
+
+    def __init__(self, env, speeds, fail_at=None):
+        self.env = env
+        self.speeds = speeds
+        self.fail_at = fail_at or {}  # node -> items processed before dying
+        self.processed: dict[int, list] = {n: [] for n in speeds}
+
+    def executor(self, nid, items):
+        budget = self.fail_at.get(nid)
+        for i, item in enumerate(items):
+            if budget is not None and len(self.processed[nid]) >= budget:
+                raise WorkerFailed(nid, items[i:])
+            yield self.env.timeout(item / self.speeds[nid])
+            self.processed[nid].append(item)
+
+
+class TestSenderControlledLoop:
+    def test_all_items_processed(self):
+        env = Environment()
+        cluster = _FakeCluster(env, {0: 1.0, 1: 1.0})
+        items = [1.0] * 10
+
+        def main():
+            yield from run_sender_controlled(
+                env, items, [(0, 0.5), (1, 0.5)], cluster.executor,
+                interleaved=False,
+            )
+
+        env.run(until=env.process(main()))
+        assert len(cluster.processed[0]) + len(cluster.processed[1]) == 10
+
+    def test_failure_recovery_reassigns_work(self):
+        env = Environment()
+        # Node 1 dies after 2 items; its remaining work must end up on 0.
+        cluster = _FakeCluster(env, {0: 1.0, 1: 1.0}, fail_at={1: 2})
+        items = [1.0] * 12
+
+        def main():
+            yield from run_sender_controlled(
+                env, items, [(0, 0.5), (1, 0.5)], cluster.executor,
+                interleaved=False,
+            )
+
+        env.run(until=env.process(main()))
+        total = len(cluster.processed[0]) + len(cluster.processed[1])
+        assert total == 12
+        assert len(cluster.processed[1]) == 2
+
+    def test_all_workers_dead_raises(self):
+        env = Environment()
+        cluster = _FakeCluster(env, {0: 1.0}, fail_at={0: 1})
+
+        def main():
+            yield from run_sender_controlled(
+                env, [1.0, 1.0, 1.0], [(0, 1.0)], cluster.executor,
+                interleaved=False,
+            )
+
+        with pytest.raises(RuntimeError, match="all workers failed"):
+            env.run(until=env.process(main()))
+
+    def test_interleaved_variant_runs(self):
+        env = Environment()
+        cluster = _FakeCluster(env, {0: 1.0, 1: 2.0})
+        items = [float(i) for i in range(9, 0, -1)]
+
+        def main():
+            yield from run_sender_controlled(
+                env, items, [(0, 0.4), (1, 0.6)], cluster.executor,
+                interleaved=True,
+            )
+
+        env.run(until=env.process(main()))
+        assert sorted(
+            cluster.processed[0] + cluster.processed[1], reverse=True
+        ) == items
+
+
+class TestReceiverControlledLoop:
+    def test_all_chunks_processed(self):
+        env = Environment()
+        cluster = _FakeCluster(env, {0: 1.0, 1: 1.0, 2: 1.0})
+        items = [1.0] * 12
+
+        def main():
+            yield from run_receiver_controlled(
+                env, items, [0, 1, 2], cluster.executor, chunk_size=2
+            )
+
+        env.run(until=env.process(main()))
+        total = sum(len(v) for v in cluster.processed.values())
+        assert total == 12
+
+    def test_faster_node_pulls_more_chunks(self):
+        env = Environment()
+        cluster = _FakeCluster(env, {0: 1.0, 1: 4.0})
+        items = [1.0] * 20
+
+        def main():
+            yield from run_receiver_controlled(
+                env, items, [0, 1], cluster.executor, chunk_size=2
+            )
+
+        env.run(until=env.process(main()))
+        assert len(cluster.processed[1]) > len(cluster.processed[0])
+
+    def test_failed_node_chunk_returns_to_pool(self):
+        env = Environment()
+        cluster = _FakeCluster(env, {0: 1.0, 1: 1.0}, fail_at={1: 0})
+        items = [1.0] * 8
+
+        def main():
+            yield from run_receiver_controlled(
+                env, items, [0, 1], cluster.executor, chunk_size=2
+            )
+
+        env.run(until=env.process(main()))
+        assert len(cluster.processed[0]) == 8
+        assert cluster.processed[1] == []
+
+    def test_all_nodes_fail_raises(self):
+        env = Environment()
+        cluster = _FakeCluster(env, {0: 1.0}, fail_at={0: 0})
+
+        def main():
+            yield from run_receiver_controlled(
+                env, [1.0, 1.0], [0], cluster.executor, chunk_size=1
+            )
+
+        with pytest.raises(RuntimeError, match="all workers failed"):
+            env.run(until=env.process(main()))
+
+    def test_no_workers_rejected(self):
+        env = Environment()
+
+        def main():
+            yield from run_receiver_controlled(
+                env, [1.0], [], lambda n, i: iter(()), chunk_size=1
+            )
+
+        with pytest.raises(ValueError):
+            env.run(until=env.process(main()))
+
+    def test_empty_items_noop(self):
+        env = Environment()
+        cluster = _FakeCluster(env, {0: 1.0})
+
+        def main():
+            result = yield from run_receiver_controlled(
+                env, [], [0], cluster.executor, chunk_size=5
+            )
+            return result
+
+        assert env.run(until=env.process(main())) == []

@@ -1,0 +1,99 @@
+"""Tests for the entity knowledge base."""
+
+import pytest
+
+from repro.corpus import (
+    ANSWER_IS_SUBJECT,
+    TEMPLATES,
+    EntityRecord,
+    Fact,
+    KnowledgeBase,
+    build_knowledge_base,
+)
+from repro.nlp import EntityType
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return build_knowledge_base(seed=7)
+
+
+class TestBuild:
+    def test_deterministic(self):
+        a = build_knowledge_base(seed=9)
+        b = build_knowledge_base(seed=9)
+        assert list(a.entities) == list(b.entities)
+        assert a.facts == b.facts
+
+    def test_entity_types_present(self, kb):
+        types = {r.type for r in kb.entities.values()}
+        assert EntityType.PERSON in types
+        assert EntityType.LOCATION in types
+        assert EntityType.ORGANIZATION in types
+        assert EntityType.DISEASE in types
+        assert EntityType.PRODUCT in types
+
+    def test_counts_match_request(self):
+        kb = build_knowledge_base(n_persons=10, n_places=8, n_orgs=3,
+                                  n_diseases=2, n_products=4, seed=1)
+        assert len(kb.by_type(EntityType.PERSON)) == 10
+        assert len(kb.by_type(EntityType.ORGANIZATION)) == 3
+        assert len(kb.by_type(EntityType.DISEASE)) == 2
+
+    def test_every_fact_relation_has_template(self, kb):
+        for fact in kb.facts:
+            assert fact.relation in TEMPLATES, fact.relation
+
+    def test_no_duplicate_entities(self, kb):
+        names = list(kb.entities)
+        assert len(names) == len(set(names))
+
+    def test_nationalities_generated(self, kb):
+        assert kb.nationalities
+        assert all(n[0].isupper() for n in kb.nationalities)
+
+    def test_persons_have_core_facts(self, kb):
+        person = kb.by_type(EntityType.PERSON)[0]
+        relations = {f.relation for f in person.facts}
+        assert {"born_in", "birth_year", "nationality"} <= relations
+
+
+class TestKnowledgeBase:
+    def test_duplicate_entity_rejected(self):
+        kb = KnowledgeBase()
+        kb.add_entity(EntityRecord("X", EntityType.PERSON))
+        with pytest.raises(ValueError):
+            kb.add_entity(EntityRecord("X", EntityType.PERSON))
+
+    def test_len_counts_entities(self, kb):
+        assert len(kb) == len(kb.entities)
+
+    def test_gazetteer_covers_entities(self, kb):
+        g = kb.gazetteer()
+        for name in list(kb.entities)[:20]:
+            assert name in g
+
+    def test_gazetteer_covers_named_fact_values(self, kb):
+        g = kb.gazetteer()
+        for fact in kb.facts:
+            if fact.answer_type in (EntityType.PERSON, EntityType.LOCATION):
+                assert fact.value in g or fact.value in kb.entities
+
+
+class TestTemplates:
+    def test_statement_templates_mention_subject_and_value(self):
+        for rel, (stmt, _q) in TEMPLATES.items():
+            assert "{subject}" in stmt
+            assert "{value}" in stmt
+
+    def test_question_templates_never_leak_the_answer(self):
+        """The question must not reference the field that is the answer."""
+        for rel, (_stmt, question) in TEMPLATES.items():
+            if rel in ANSWER_IS_SUBJECT:
+                assert "{subject}" not in question
+            else:
+                assert "{value}" not in question
+
+    def test_fact_key(self):
+        f = Fact("A", "born_in", "B", EntityType.LOCATION)
+        assert f.key() == ("A", "born_in")

@@ -1,0 +1,74 @@
+"""Tests for TREC-style question generation."""
+
+import pytest
+
+from repro.corpus import (
+    ANSWER_IS_SUBJECT,
+    PAPER_EXAMPLE_QUESTIONS,
+    CorpusConfig,
+    generate_corpus,
+    generate_questions,
+)
+from repro.nlp import EntityType, classify_question
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(
+        CorpusConfig(n_collections=2, docs_per_collection=12, vocab_size=300,
+                     seed=17)
+    )
+
+
+class TestGeneration:
+    def test_one_question_per_unique_fact_key(self, corpus):
+        questions = generate_questions(corpus)
+        keys = [q.fact.key() for q in questions]
+        assert len(keys) == len(set(keys))
+
+    def test_expected_answer_direction(self, corpus):
+        for q in generate_questions(corpus):
+            if q.fact.relation in ANSWER_IS_SUBJECT:
+                assert q.expected_answer == q.fact.subject
+            else:
+                assert q.expected_answer == q.fact.value
+
+    def test_question_never_contains_its_answer(self, corpus):
+        for q in generate_questions(corpus):
+            assert q.expected_answer not in q.text, q
+
+    def test_max_questions_subsample_stable(self, corpus):
+        a = generate_questions(corpus, max_questions=10, seed=3)
+        b = generate_questions(corpus, max_questions=10, seed=3)
+        assert [q.qid for q in a] == [q.qid for q in b]
+        assert len(a) == 10
+
+    def test_relation_filter(self, corpus):
+        qs = generate_questions(corpus, relations={"born_in"})
+        assert qs
+        assert all(q.fact.relation == "born_in" for q in qs)
+
+    def test_answer_types_recognized_by_classifier(self, corpus):
+        """The QP classifier must agree with the generator's ground-truth
+        answer type for the overwhelming majority of questions (the
+        end-to-end accuracy depends on it)."""
+        questions = generate_questions(corpus)
+        agree = sum(
+            1
+            for q in questions
+            if classify_question(q.text).answer_type is q.answer_type
+        )
+        assert agree / len(questions) > 0.9
+
+
+class TestPaperExamples:
+    def test_examples_present_and_typed(self):
+        assert len(PAPER_EXAMPLE_QUESTIONS) == 4
+        expected_types = [
+            EntityType.DISEASE,
+            EntityType.LOCATION,
+            EntityType.LOCATION,
+            EntityType.NATIONALITY,
+        ]
+        for question, etype in zip(PAPER_EXAMPLE_QUESTIONS, expected_types):
+            assert classify_question(question).answer_type is etype

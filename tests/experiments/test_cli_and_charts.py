@@ -1,0 +1,89 @@
+"""Tests for the CLI and the ASCII chart renderer."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.ascii_chart import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        out = ascii_chart(
+            {"fast": [(0, 0), (10, 10)], "slow": [(0, 0), (10, 5)]},
+            title="Speedup",
+        )
+        assert "Speedup" in out
+        assert "* fast" in out
+        assert "o slow" in out
+
+    def test_axis_labels_show_bounds(self):
+        out = ascii_chart({"s": [(1, 2), (100, 50)]}, x_label="N")
+        assert "50.0" in out
+        assert "2.0" in out
+        assert "100" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({}, title="T")
+
+    def test_single_point(self):
+        out = ascii_chart({"s": [(5, 5)]})
+        assert "*" in out
+
+    def test_fixed_dimensions(self):
+        out = ascii_chart(
+            {"s": [(0, 0), (1, 1)]}, width=40, height=10, title=""
+        )
+        body_lines = [l for l in out.splitlines() if "│" in l or "┤" in l]
+        assert len(body_lines) == 10
+
+    def test_monotone_series_plots_monotone(self):
+        out = ascii_chart({"s": [(x, x) for x in range(11)]}, width=30, height=10)
+        rows = [l for l in out.splitlines() if ("│" in l or "┤" in l)]
+        # A rising line: top rows (high y) hold markers at high columns, so
+        # marker columns decrease scanning top to bottom.
+        cols = []
+        for row in rows:
+            idx = row.find("*")
+            if idx >= 0:
+                cols.append(idx)
+        assert cols == sorted(cols, reverse=True)
+
+
+class TestCLI:
+    def test_model_command(self, capsys):
+        main(["model", "--net", "1 Gbps", "--disk", "250 Mbps"])
+        out = capsys.readouterr().out
+        assert "practical processor limit" in out
+        assert "71" in out
+
+    def test_simulate_command(self, capsys):
+        main([
+            "simulate", "--nodes", "2", "--strategy", "DNS",
+            "--questions", "4", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "DNS on 2 nodes" in out
+
+    def test_ask_command(self, capsys):
+        from repro.experiments import default_context
+
+        ctx = default_context()
+        question = ctx.questions[0]
+        main(["ask", question.text])
+        out = capsys.readouterr().out
+        assert "Top answers" in out
+        assert question.expected_answer.split()[0] in out
+
+    def test_experiments_subset(self, capsys):
+        main(["experiments", "table4"])
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "nonsense"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

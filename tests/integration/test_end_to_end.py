@@ -1,0 +1,70 @@
+"""Full-stack integration: real corpus -> real pipeline -> real profiles
+-> distributed simulation."""
+
+import pytest
+
+from repro.core import DistributedQASystem, Strategy, SystemConfig
+from repro.corpus import CorpusConfig, generate_corpus, generate_questions
+from repro.nlp import EntityRecognizer
+from repro.qa import CostModel, QAPipeline, profile_question
+from repro.retrieval import IndexedCorpus
+
+
+@pytest.fixture(scope="module")
+def stack():
+    corpus = generate_corpus(
+        CorpusConfig(n_collections=4, docs_per_collection=15, vocab_size=500,
+                     seed=77)
+    )
+    recognizer = EntityRecognizer(
+        corpus.knowledge.gazetteer(),
+        extra_nationalities=corpus.knowledge.nationalities,
+    )
+    pipeline = QAPipeline(IndexedCorpus(corpus), recognizer)
+    questions = generate_questions(corpus, max_questions=8, seed=1)
+    return pipeline, questions
+
+
+class TestRealProfilesThroughSimulation:
+    def test_real_profile_executes_on_cluster(self, stack):
+        pipeline, questions = stack
+        model = CostModel.default()
+        prof = profile_question(pipeline, questions[0].text, model,
+                                qid=questions[0].qid)
+        system = DistributedQASystem(SystemConfig(n_nodes=4, strategy=Strategy.DQA))
+        report = system.run_workload([prof])
+        r = report.results[0]
+        assert r.response_time > 0
+        assert r.module_times["PR"] > 0
+
+    def test_distribution_speeds_up_real_question(self, stack):
+        pipeline, questions = stack
+        model = CostModel.default()
+        prof = profile_question(pipeline, questions[1].text, model)
+        t1 = DistributedQASystem(
+            SystemConfig(n_nodes=1, strategy=Strategy.DQA)
+        ).run_workload([prof]).results[0].response_time
+        t4 = DistributedQASystem(
+            SystemConfig(n_nodes=4, strategy=Strategy.DQA)
+        ).run_workload([prof]).results[0].response_time
+        assert t4 < t1
+
+    def test_pr_width_bounded_by_collections(self, stack):
+        pipeline, questions = stack
+        model = CostModel.default()
+        prof = profile_question(pipeline, questions[2].text, model)
+        system = DistributedQASystem(SystemConfig(n_nodes=8, strategy=Strategy.DQA))
+        r = system.run_workload([prof]).results[0]
+        assert r.pr_partition_width <= len(prof.collections)
+
+    def test_batch_of_real_questions(self, stack):
+        pipeline, questions = stack
+        model = CostModel.default()
+        profiles = [
+            profile_question(pipeline, q.text, model, qid=q.qid)
+            for q in questions[:6]
+        ]
+        system = DistributedQASystem(SystemConfig(n_nodes=4, strategy=Strategy.DQA))
+        report = system.run_workload(profiles)
+        assert report.n_questions == 6
+        assert report.throughput_qpm > 0

@@ -1,0 +1,49 @@
+"""Tests for the model-calibration utilities."""
+
+import numpy as np
+import pytest
+
+from repro.model import ModelParameters, fit_intra_constants, grid_error
+from repro.model.calibration import PAPER_TABLE4_N
+
+
+class TestGridError:
+    def test_default_parameters_fit_tightly(self):
+        assert grid_error(ModelParameters()) < 0.01
+
+    def test_bad_parameters_fit_poorly(self):
+        from dataclasses import replace
+
+        bad = replace(ModelParameters(), d_pr=5e9, t_fix=10.0)
+        assert grid_error(bad) > 0.3
+
+    def test_error_is_mean_relative(self):
+        # Perturbing one constant slightly moves the error slightly.
+        from dataclasses import replace
+
+        base = grid_error(ModelParameters())
+        nudged = grid_error(replace(ModelParameters(), v_net=1.30e6))
+        assert abs(nudged - base) < 0.2
+
+
+class TestFitter:
+    def test_fitter_recovers_near_optimum_from_bad_start(self):
+        """A coarse grid search from a detuned start must land within the
+        shipped defaults' accuracy ballpark."""
+        from dataclasses import replace
+
+        detuned = replace(
+            ModelParameters(), d_pr=0.9e9, t_fix=1.7, v_net=1.4e6
+        )
+        assert grid_error(detuned) > grid_error(ModelParameters())
+        fitted = fit_intra_constants(
+            base=detuned,
+            d_pr_grid=np.linspace(0.95e9, 1.1e9, 7),
+            t_fix_grid=np.linspace(1.3, 1.5, 5),
+            v_net_grid=np.linspace(1.1e6, 1.4e6, 7),
+        )
+        assert grid_error(fitted) < 0.03
+
+    def test_paper_table_complete(self):
+        assert len(PAPER_TABLE4_N) == 16
+        assert all(v > 0 for v in PAPER_TABLE4_N.values())

@@ -1,0 +1,158 @@
+"""Tests for the Section 5 analytical model — including the Table 4
+regression that pins the reproduction quality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    PAPER_TABLE4_N,
+    PAPER_TABLE4_S,
+    ModelParameters,
+    bandwidth_bps,
+    dispatch_overhead,
+    distribution_overhead,
+    grid_error,
+    migration_overhead,
+    monitoring_overhead,
+    parallel_time,
+    practical_processor_limit,
+    question_speedup,
+    question_time,
+    sequential_overhead_time,
+    system_efficiency,
+    system_speedup,
+    upper_limit_grid,
+)
+
+
+class TestParameters:
+    def test_bandwidth_parsing(self):
+        assert bandwidth_bps("1 Mbps") == 1e6
+        assert bandwidth_bps("100 Mbps") == 100e6
+        assert bandwidth_bps("1 Gbps") == 1e9
+
+    def test_t_pr_depends_on_disk_bandwidth(self):
+        p = ModelParameters()
+        slow = p.with_bandwidths(b_disk=bandwidth_bps("100 Mbps"))
+        fast = p.with_bandwidths(b_disk=bandwidth_bps("1 Gbps"))
+        assert slow.t_pr > fast.t_pr
+
+    def test_default_t_pr_near_table8(self):
+        """On the testbed disk, PR must take ~38 s (Table 8)."""
+        assert ModelParameters().t_pr == pytest.approx(38.0, rel=0.05)
+
+    def test_with_bandwidths_copies(self):
+        p = ModelParameters()
+        q = p.with_bandwidths(b_net=1e9)
+        assert p.b_net == 100e6
+        assert q.b_net == 1e9
+
+
+class TestIntraModel:
+    def test_table4_regression(self):
+        """>= 14 of 16 N cells must match the paper exactly; all within 1."""
+        grid = upper_limit_grid(ModelParameters())
+        exact = 0
+        for cell in grid:
+            paper_n = PAPER_TABLE4_N[(cell.b_disk_label, cell.b_net_label)]
+            assert abs(cell.n_max - paper_n) <= 1
+            exact += cell.n_max == paper_n
+        assert exact >= 14
+
+    def test_table4_speedups_within_five_percent(self):
+        grid = upper_limit_grid(ModelParameters())
+        for cell in grid:
+            paper_s = PAPER_TABLE4_S[(cell.b_disk_label, cell.b_net_label)]
+            assert cell.speedup == pytest.approx(paper_s, rel=0.06)
+
+    def test_mean_grid_error_below_one_percent(self):
+        assert grid_error(ModelParameters()) < 0.01
+
+    def test_n_max_monotone_in_net_bandwidth(self):
+        p = ModelParameters()
+        limits = [
+            practical_processor_limit(p.with_bandwidths(b_net=bw))
+            for bw in (1e6, 10e6, 100e6, 1e9)
+        ]
+        assert limits == sorted(limits)
+
+    def test_n_max_decreasing_in_disk_bandwidth(self):
+        """The paper's counterintuitive result: faster disks shrink the
+        practical processor limit (T_par shrinks, overhead doesn't)."""
+        p = ModelParameters().with_bandwidths(b_net=1e9)
+        limits = [
+            practical_processor_limit(p.with_bandwidths(b_disk=bw))
+            for bw in (100e6, 250e6, 500e6, 1e9)
+        ]
+        assert limits == sorted(limits, reverse=True)
+
+    def test_speedup_at_one_processor(self):
+        p = ModelParameters()
+        s = question_speedup(p, 1)
+        # T_1/(T_par + T_seq) slightly below 1 (partitioning overhead).
+        assert 0.9 < s <= 1.0
+
+    def test_time_decomposition(self):
+        p = ModelParameters()
+        assert question_time(p, 10) == pytest.approx(
+            parallel_time(p) / 10 + sequential_overhead_time(p)
+        )
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            question_time(ModelParameters(), 0)
+
+    @given(n=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_speedup_bounded_by_n_and_by_asymptote(self, n):
+        p = ModelParameters()
+        s = question_speedup(p, n)
+        assert 0 < s <= n
+        asymptote = p.t_sequential / sequential_overhead_time(p)
+        assert s < asymptote
+
+
+class TestInterModel:
+    def test_efficiency_targets(self):
+        """Section 5.1: efficiency ~0.9 at (1000, 1 Gbps) and at
+        (100, 100 Mbps)."""
+        p = ModelParameters()
+        assert system_efficiency(p.with_bandwidths(b_net=1e9), 1000) == pytest.approx(
+            0.9, abs=0.05
+        )
+        assert system_efficiency(
+            p.with_bandwidths(b_net=100e6), 100
+        ) == pytest.approx(0.9, abs=0.05)
+
+    def test_speedup_increases_with_bandwidth(self):
+        p = ModelParameters()
+        slow = system_speedup(p.with_bandwidths(b_net=10e6), 500)
+        fast = system_speedup(p.with_bandwidths(b_net=1e9), 500)
+        assert fast > slow
+
+    def test_overhead_components_positive_and_additive(self):
+        p = ModelParameters()
+        n = 100
+        assert distribution_overhead(p, n) == pytest.approx(
+            monitoring_overhead(p, n)
+            + dispatch_overhead(p, n)
+            + migration_overhead(p, n)
+        )
+        assert monitoring_overhead(p, n) > 0
+        assert migration_overhead(p, n) > 0
+
+    def test_speedup_sublinear(self):
+        p = ModelParameters()
+        for n in (10, 100, 1000):
+            assert system_speedup(p, n) < n
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            system_speedup(ModelParameters(), 0)
+
+    @given(n=st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_efficiency_decreasing_in_n(self, n):
+        p = ModelParameters()
+        assert system_efficiency(p, n) >= system_efficiency(p, n + 100)

@@ -1,0 +1,64 @@
+"""Tests for question classification (answer-type detection)."""
+
+import pytest
+
+from repro.nlp import EntityType, classify_question
+
+
+CASES = [
+    # The paper's Table 1 questions.
+    ("What is the name of the rare neurological disease with symptoms such"
+     " as involuntary movements?", EntityType.DISEASE),
+    ("Where is the actress Marion Davies buried?", EntityType.LOCATION),
+    ("Where is the Taj Mahal?", EntityType.LOCATION),
+    ("What is the nationality of Pope John Paul II?", EntityType.NATIONALITY),
+    # Interrogative coverage.
+    ("Who invented the telephone?", EntityType.PERSON),
+    ("Whom did she marry?", EntityType.PERSON),
+    ("When was the company founded?", EntityType.DATE),
+    ("How many people live in Tokyo?", EntityType.NUMBER),
+    ("How much did the project cost?", EntityType.MONEY),
+    ("How much rice does it take?", EntityType.NUMBER),
+    ("How far is the moon?", EntityType.DISTANCE),
+    ("How tall is the Eiffel Tower?", EntityType.DISTANCE),
+    ("How long did the war last?", EntityType.DURATION),
+    ("How long is the Nile?", EntityType.DISTANCE),
+    ("How old was the king?", EntityType.NUMBER),
+    # Head nouns.
+    ("What city hosted the olympics?", EntityType.LOCATION),
+    ("Which country has Paris as its capital?", EntityType.LOCATION),
+    ("What year did it happen?", EntityType.DATE),
+    ("What company makes trucks?", EntityType.ORGANIZATION),
+    ("Which river flows through Cairo?", EntityType.LOCATION),
+    ("What president signed the bill?", EntityType.PERSON),
+    ("Name the inventor of the radio.", EntityType.PERSON),
+    # Definition fallback.
+    ("What is photosynthesis?", EntityType.DEFINITION),
+]
+
+
+class TestClassification:
+    @pytest.mark.parametrize("question,expected", CASES)
+    def test_cases(self, question, expected):
+        assert classify_question(question).answer_type is expected
+
+    def test_empty_question(self):
+        c = classify_question("")
+        assert c.answer_type is EntityType.UNKNOWN
+        assert c.rule == "empty"
+
+    def test_rule_is_reported(self):
+        assert classify_question("Who did it?").rule == "who"
+
+    def test_unknown_fallback(self):
+        c = classify_question("Frobnicate the wug?")
+        assert c.answer_type is EntityType.UNKNOWN
+
+    def test_where_embedded(self):
+        c = classify_question("In the story, where did they hide it?")
+        assert c.answer_type is EntityType.LOCATION
+
+    def test_case_insensitive(self):
+        a = classify_question("WHO INVENTED THE TELEPHONE?")
+        b = classify_question("who invented the telephone?")
+        assert a.answer_type is b.answer_type is EntityType.PERSON

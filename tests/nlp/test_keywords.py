@@ -1,0 +1,95 @@
+"""Tests for Falcon-style keyword selection."""
+
+import pytest
+
+from repro.nlp import (
+    EntityRecognizer,
+    EntityType,
+    Gazetteer,
+    is_stopword,
+    select_keywords,
+)
+
+
+@pytest.fixture()
+def recognizer():
+    g = Gazetteer()
+    g.add("Marion Davies", EntityType.PERSON)
+    g.add("Taj Mahal", EntityType.LOCATION)
+    return EntityRecognizer(g)
+
+
+class TestStopwords:
+    def test_common_words(self):
+        for w in ("the", "is", "of", "and", "where"):
+            assert is_stopword(w)
+
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+
+    def test_content_words_not_stopwords(self):
+        for w in ("telephone", "buried", "capital"):
+            assert not is_stopword(w)
+
+
+class TestSelectKeywords:
+    def test_entity_phrase_highest_priority(self, recognizer):
+        kws = select_keywords("Where is the actress Marion Davies buried?",
+                              recognizer)
+        assert kws[0].text == "Marion Davies"
+        assert kws[0].priority == 0
+        assert kws[0].is_phrase
+
+    def test_phrase_has_one_stem_per_word(self, recognizer):
+        kws = select_keywords("Where is the Taj Mahal?", recognizer)
+        phrase = [k for k in kws if k.is_phrase][0]
+        assert len(phrase.stems) == 2
+
+    def test_stopwords_and_interrogatives_excluded(self, recognizer):
+        kws = select_keywords("Where is the actress Marion Davies buried?",
+                              recognizer)
+        texts = {k.text.lower() for k in kws}
+        assert "where" not in texts
+        assert "the" not in texts
+        assert "is" not in texts
+
+    def test_content_words_included(self, recognizer):
+        kws = select_keywords("Where is the actress Marion Davies buried?",
+                              recognizer)
+        texts = {k.text.lower() for k in kws}
+        assert "actress" in texts
+        assert "buried" in texts
+
+    def test_priorities_strictly_orderable(self, recognizer):
+        kws = select_keywords("Where is the actress Marion Davies buried?",
+                              recognizer)
+        priorities = [k.priority for k in kws]
+        assert priorities == sorted(priorities)
+
+    def test_max_keywords_respected(self, recognizer):
+        q = ("Where is the enormous ancient beautiful mysterious gigantic"
+             " crumbling labyrinthine subterranean fortress located?")
+        kws = select_keywords(q, recognizer, max_keywords=4)
+        assert len(kws) <= 4
+
+    def test_duplicate_stems_deduplicated(self, recognizer):
+        kws = select_keywords("invent inventing invented?", recognizer)
+        stems = [k.stems for k in kws]
+        assert len(stems) == len(set(stems))
+
+    def test_without_recognizer(self):
+        kws = select_keywords("Who invented the telephone?", None)
+        assert any(k.text.lower() == "telephone" for k in kws)
+
+    def test_longer_words_ranked_rarer(self, recognizer):
+        kws = select_keywords("What makes a chrysanthemum wilt?", recognizer)
+        texts = [k.text.lower() for k in kws]
+        assert texts.index("chrysanthemum") < texts.index("wilt")
+
+    def test_empty_question(self, recognizer):
+        assert select_keywords("", recognizer) == []
+
+    def test_stems_are_porter(self, recognizer):
+        kws = select_keywords("Where is Marion Davies buried?", recognizer)
+        buried = [k for k in kws if k.text.lower() == "buried"][0]
+        assert buried.stems == ("buri",)

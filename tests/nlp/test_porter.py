@@ -1,0 +1,126 @@
+"""Tests for the Porter stemmer against the published reference behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import stem
+
+# Classic vectors from Porter's 1980 paper examples.
+REFERENCE = {
+    "caresses": "caress",
+    "ponies": "poni",
+    "ties": "ti",
+    "caress": "caress",
+    "cats": "cat",
+    "feed": "feed",
+    "agreed": "agre",
+    "plastered": "plaster",
+    "bled": "bled",
+    "motoring": "motor",
+    "sing": "sing",
+    "conflated": "conflat",
+    "troubled": "troubl",
+    "sized": "size",
+    "hopping": "hop",
+    "tanned": "tan",
+    "falling": "fall",
+    "hissing": "hiss",
+    "failing": "fail",
+    "filing": "file",
+    "happy": "happi",
+    "sky": "sky",
+    "relational": "relat",
+    "conditional": "condit",
+    "rational": "ration",
+    "valenci": "valenc",
+    "hesitanci": "hesit",
+    "digitizer": "digit",
+    "differently": "differ",
+    "analogousli": "analog",
+    "vietnamization": "vietnam",
+    "predication": "predic",
+    "operator": "oper",
+    "feudalism": "feudal",
+    "decisiveness": "decis",
+    "hopefulness": "hope",
+    "callousness": "callous",
+    "formaliti": "formal",
+    "sensitiviti": "sensit",
+    "sensibiliti": "sensibl",
+    "triplicate": "triplic",
+    "formative": "form",
+    "formalize": "formal",
+    "electriciti": "electr",
+    "electrical": "electr",
+    "hopeful": "hope",
+    "goodness": "good",
+    "revival": "reviv",
+    "allowance": "allow",
+    "inference": "infer",
+    "airliner": "airlin",
+    "gyroscopic": "gyroscop",
+    "adjustable": "adjust",
+    "defensible": "defens",
+    "irritant": "irrit",
+    "replacement": "replac",
+    "adjustment": "adjust",
+    "dependent": "depend",
+    "adoption": "adopt",
+    "communism": "commun",
+    "activate": "activ",
+    "angulariti": "angular",
+    "homologous": "homolog",
+    "effective": "effect",
+    "bowdlerize": "bowdler",
+    "probate": "probat",
+    "rate": "rate",
+    "cease": "ceas",
+    "controll": "control",
+    "roll": "roll",
+}
+
+
+class TestReferenceVectors:
+    @pytest.mark.parametrize("word,expected", sorted(REFERENCE.items()))
+    def test_reference(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestBasics:
+    def test_lowercases(self):
+        assert stem("Running") == stem("running")
+
+    def test_short_words_unchanged(self):
+        assert stem("at") == "at"
+        assert stem("be") == "be"
+        assert stem("I") == "i"
+
+    def test_non_alpha_unchanged(self):
+        assert stem("1999") == "1999"
+        assert stem("it's") == "it's"
+
+    def test_retrieval_variants_share_stems(self):
+        # The property Boolean retrieval relies on.
+        groups = [
+            ("connect", "connected", "connecting", "connection", "connections"),
+            ("invent", "invented", "inventing"),
+        ]
+        for group in groups:
+            stems = {stem(w) for w in group}
+            assert len(stems) == 1, f"{group} -> {stems}"
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                   min_size=1, max_size=20))
+    @settings(max_examples=300, deadline=None)
+    def test_never_longer_never_empty(self, word):
+        out = stem(word)
+        assert out
+        assert len(out) <= len(word)
+        assert out.isalpha()
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                   min_size=3, max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic(self, word):
+        assert stem(word) == stem(word)

@@ -1,0 +1,71 @@
+"""Tests for the Q/A data model helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import EntityType
+from repro.qa import ModuleTimings, QAResult, Question
+from repro.qa.question import Answer
+
+
+class TestQuestion:
+    def test_size_bytes_utf8(self):
+        assert Question(0, "abc").size_bytes == 3
+        assert Question(0, "héllo").size_bytes == 6  # é is two bytes
+
+
+class TestModuleTimings:
+    def test_total_sums_modules(self):
+        t = ModuleTimings(qp=1.0, pr=2.0, ps=3.0, po=4.0, ap=5.0)
+        assert t.total == 15.0
+
+    def test_fractions_sum_to_one(self):
+        t = ModuleTimings(qp=1.0, pr=2.0, ps=3.0, po=4.0, ap=5.0)
+        assert sum(t.fractions().values()) == pytest.approx(1.0)
+
+    def test_zero_timings_safe(self):
+        t = ModuleTimings()
+        assert t.total == 0.0
+        fractions = t.fractions()
+        assert all(v == 0.0 for v in fractions.values())
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.001, max_value=1e3), min_size=5, max_size=5
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fractions_property(self, values):
+        t = ModuleTimings(*values)
+        fractions = t.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(0 <= v <= 1 for v in fractions.values())
+
+
+class TestAnswer:
+    def _answer(self, long_text):
+        return Answer(
+            text="x", short="x", long=long_text, score=1.0,
+            paragraph_key=(0, 0), entity_type=EntityType.LOCATION,
+        )
+
+    def test_size_bytes_is_long_window(self):
+        assert self._answer("abcd").size_bytes == 4
+
+
+class TestQAResult:
+    def test_best_is_first_answer(self):
+        answers = [
+            Answer(text=t, short=t, long=t, score=s, paragraph_key=(0, 0),
+                   entity_type=EntityType.LOCATION)
+            for t, s in (("a", 9.0), ("b", 5.0))
+        ]
+        result = QAResult(
+            processed=None, answers=answers, n_retrieved=2, n_accepted=2
+        )
+        assert result.best.text == "a"
+
+    def test_best_none_when_empty(self):
+        result = QAResult(processed=None, answers=[], n_retrieved=0, n_accepted=0)
+        assert result.best is None

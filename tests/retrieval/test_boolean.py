@@ -1,0 +1,120 @@
+"""Tests for Boolean retrieval with keyword relaxation."""
+
+import pytest
+
+from repro.nlp import Keyword, stem
+from repro.retrieval import BooleanRetriever, CollectionIndex
+
+from .test_inverted_index import make_collection
+
+
+def kw(text, priority=0):
+    words = text.split()
+    return Keyword(
+        text=text,
+        stems=tuple(stem(w) for w in words),
+        priority=priority,
+        is_phrase=len(words) > 1,
+    )
+
+
+@pytest.fixture()
+def retriever():
+    index = CollectionIndex(
+        make_collection(
+            [
+                "The telephone was invented by Bell.\n\nOther text here.",
+                "Bell invented many things including the telephone device.",
+                "Telephones are everywhere nowadays.",
+                "Gardens have flowers.\n\nBell peppers grow in gardens.",
+            ]
+        )
+    )
+    return BooleanRetriever(index, min_docs=1, paragraph_quorum=1.0)
+
+
+class TestConjunction:
+    def test_and_semantics(self, retriever):
+        result = retriever.retrieve([kw("telephone"), kw("Bell", 1)])
+        assert set(result.matched_docs) == {0, 1}
+
+    def test_single_keyword(self, retriever):
+        result = retriever.retrieve([kw("garden")])
+        assert result.matched_docs == [3]
+
+    def test_no_match(self, retriever):
+        result = retriever.retrieve([kw("spaceship")])
+        assert result.matched_docs == []
+        assert result.paragraphs == []
+
+    def test_empty_keywords(self, retriever):
+        result = retriever.retrieve([])
+        assert result.matched_docs == []
+
+
+class TestRelaxation:
+    def test_drops_lowest_priority_keyword(self, retriever):
+        # "telephone AND spaceship" matches nothing; relaxation drops the
+        # lower-priority "spaceship" and retries.
+        result = retriever.retrieve([kw("telephone", 0), kw("spaceship", 5)])
+        assert result.matched_docs
+        assert [k.text for k in result.used_keywords] == ["telephone"]
+        assert result.relaxation_rounds == 2
+
+    def test_min_docs_drives_relaxation(self):
+        index = CollectionIndex(
+            make_collection(
+                [
+                    "alpha beta gamma",
+                    "alpha beta",
+                    "alpha only here",
+                ]
+            )
+        )
+        retriever = BooleanRetriever(index, min_docs=3, paragraph_quorum=1.0)
+        result = retriever.retrieve([kw("alpha", 0), kw("beta", 1), kw("gamma", 2)])
+        # Conjunction of all three matches 1 doc; dropping to just
+        # "alpha" reaches 3 docs.
+        assert len(result.matched_docs) == 3
+        assert [k.text for k in result.used_keywords] == ["alpha"]
+
+    def test_never_drops_last_keyword(self, retriever):
+        result = retriever.retrieve([kw("spaceship", 0)])
+        assert result.used_keywords and result.matched_docs == []
+
+
+class TestParagraphExtraction:
+    def test_only_quorum_paragraphs_returned(self, retriever):
+        result = retriever.retrieve([kw("Bell", 0), kw("pepper", 1)])
+        # Doc 3 matches; only its second paragraph contains both words.
+        assert len(result.paragraphs) == 1
+        assert "peppers" in result.paragraphs[0].text
+
+    def test_quorum_fraction(self):
+        index = CollectionIndex(
+            make_collection(["alpha beta\n\nalpha gamma\n\ndelta epsilon"])
+        )
+        half = BooleanRetriever(index, min_docs=1, paragraph_quorum=0.5)
+        result = half.retrieve([kw("alpha", 0), kw("beta", 1)])
+        # Quorum 0.5 of 2 keywords = 1 keyword: two paragraphs qualify.
+        assert len(result.paragraphs) == 2
+
+    def test_phrase_keyword_requires_all_stems(self, retriever):
+        result = retriever.retrieve([kw("telephone device")])
+        assert result.matched_docs == [1]
+
+
+class TestAccounting:
+    def test_work_counters_populated(self, retriever):
+        result = retriever.retrieve([kw("telephone"), kw("Bell", 1)])
+        assert result.postings_scanned > 0
+        assert result.doc_bytes_read > 0
+        assert result.collection_id == 0
+
+    def test_invalid_parameters(self, retriever):
+        with pytest.raises(ValueError):
+            BooleanRetriever(retriever.index, min_docs=0)
+        with pytest.raises(ValueError):
+            BooleanRetriever(retriever.index, paragraph_quorum=0.0)
+        with pytest.raises(ValueError):
+            BooleanRetriever(retriever.index, paragraph_quorum=1.5)

@@ -1,0 +1,72 @@
+"""Tests for corpus-wide index management."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus, generate_questions
+from repro.nlp import EntityRecognizer, select_keywords
+from repro.retrieval import IndexedCorpus
+
+
+@pytest.fixture(scope="module")
+def indexed():
+    corpus = generate_corpus(
+        CorpusConfig(n_collections=3, docs_per_collection=15, vocab_size=400,
+                     seed=21)
+    )
+    return IndexedCorpus(corpus)
+
+
+@pytest.fixture(scope="module")
+def recognizer(indexed):
+    kb = indexed.corpus.knowledge
+    return EntityRecognizer(kb.gazetteer(), extra_nationalities=kb.nationalities)
+
+
+class TestIndexedCorpus:
+    def test_n_collections(self, indexed):
+        assert indexed.n_collections == 3
+
+    def test_retrieve_all_covers_every_collection(self, indexed, recognizer):
+        q = generate_questions(indexed.corpus)[0]
+        keywords = select_keywords(q.text, recognizer)
+        results = indexed.retrieve_all(keywords)
+        assert [r.collection_id for r in results] == [0, 1, 2]
+
+    def test_retrieve_collection_matches_retrieve_all(self, indexed, recognizer):
+        q = generate_questions(indexed.corpus)[3]
+        keywords = select_keywords(q.text, recognizer)
+        all_results = indexed.retrieve_all(keywords)
+        single = indexed.retrieve_collection(1, keywords)
+        assert [p.key for p in single.paragraphs] == [
+            p.key for p in all_results[1].paragraphs
+        ]
+
+    def test_corpus_wide_document_frequency(self, indexed):
+        from repro.nlp import stem
+
+        name = next(iter(indexed.corpus.knowledge.entities))
+        s = stem(name.split()[0])
+        total = indexed.document_frequency(s)
+        assert total == sum(ix.document_frequency(s) for ix in indexed.indexes)
+
+    def test_total_stats(self, indexed):
+        stats = indexed.total_stats()
+        assert stats["n_documents"] == 45
+        assert stats["text_bytes"] == indexed.corpus.size_bytes
+        assert stats["index_bytes"] == 8 * stats["n_postings"]
+
+    def test_answers_retrievable_for_most_questions(self, indexed, recognizer):
+        """End-to-end retrieval recall: the planted answer text must be in
+        the retrieved paragraphs for nearly every generated question."""
+        questions = generate_questions(indexed.corpus, max_questions=40, seed=1)
+        hits = 0
+        for q in questions:
+            keywords = select_keywords(q.text, recognizer)
+            results = indexed.retrieve_all(keywords)
+            found = any(
+                q.expected_answer in p.text
+                for r in results
+                for p in r.paragraphs
+            )
+            hits += found
+        assert hits / len(questions) > 0.9

@@ -1,0 +1,86 @@
+"""Tests for the query-cost prediction heuristic."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus, generate_questions
+from repro.nlp import EntityRecognizer, select_keywords
+from repro.retrieval import IndexedCorpus
+from repro.retrieval.prediction import (
+    QueryCostEstimate,
+    predict_pr_cost,
+    predict_pr_cost_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = generate_corpus(
+        CorpusConfig(n_collections=2, docs_per_collection=15, vocab_size=400,
+                     seed=61)
+    )
+    indexed = IndexedCorpus(corpus)
+    recognizer = EntityRecognizer(
+        corpus.knowledge.gazetteer(),
+        extra_nationalities=corpus.knowledge.nationalities,
+    )
+    return indexed, recognizer, generate_questions(corpus)
+
+
+class TestPredict:
+    def test_empty_keywords(self, setup):
+        indexed, _, _ = setup
+        est = predict_pr_cost(indexed.indexes[0], [])
+        assert est.work_units == 0.0
+        assert est.n_terms == 0
+
+    def test_estimate_structure(self, setup):
+        indexed, recognizer, questions = setup
+        keywords = select_keywords(questions[0].text, recognizer)
+        est = predict_pr_cost(indexed.indexes[0], keywords)
+        assert isinstance(est, QueryCostEstimate)
+        assert est.n_terms >= 1
+        assert est.work_units >= 0.0
+
+    def test_common_terms_cost_more(self, setup):
+        """A query over frequent terms must predict more work than one
+        over rare terms."""
+        indexed, _, _ = setup
+        index = indexed.indexes[0]
+        # Find a frequent and a rare stem from the index itself.
+        from repro.nlp import Keyword
+
+        stems = sorted(
+            index._postings, key=lambda s: index.document_frequency(s)
+        )
+        rare, frequent = stems[0], stems[-1]
+        kw_rare = Keyword(text=rare, stems=(rare,), priority=0)
+        kw_freq = Keyword(text=frequent, stems=(frequent,), priority=0)
+        assert (
+            predict_pr_cost(index, [kw_freq], min_docs=1).work_units
+            > predict_pr_cost(index, [kw_rare], min_docs=1).work_units
+        )
+
+    def test_corpus_wide_sums_collections(self, setup):
+        indexed, recognizer, questions = setup
+        keywords = select_keywords(questions[1].text, recognizer)
+        total = predict_pr_cost_corpus(indexed, keywords)
+        parts = sum(
+            predict_pr_cost(ix, keywords).work_units for ix in indexed.indexes
+        )
+        assert total == pytest.approx(parts)
+
+    def test_prediction_correlates_with_actual_pr_work(self, setup):
+        """The [7] heuristic must rank retrieval cost correctly."""
+        import numpy as np
+
+        indexed, recognizer, questions = setup
+        preds, actual = [], []
+        for q in questions[:40]:
+            keywords = select_keywords(q.text, recognizer)
+            preds.append(predict_pr_cost_corpus(indexed, keywords))
+            work = 0.0
+            for r in indexed.retrieve_all(keywords):
+                work += 8.0 * r.postings_scanned + r.doc_bytes_read
+            actual.append(work)
+        corr = float(np.corrcoef(preds, actual)[0, 1])
+        assert corr > 0.6

@@ -1,0 +1,102 @@
+"""Stateful property testing of the fair-share resource.
+
+Drives random sequences of job submissions, cancellations, capacity
+changes and time advances against :class:`FairShareResource`, checking
+the conservation laws a processor-sharing server must satisfy regardless
+of operation order.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.simulation import Environment, FairShareResource
+
+
+class FairShareMachine(RuleBasedStateMachine):
+    """Random operation sequences against one fair-share server."""
+
+    @initialize(capacity=st.floats(min_value=0.5, max_value=8.0))
+    def setup(self, capacity):
+        self.env = Environment()
+        self.resource = FairShareResource(self.env, capacity)
+        self.submitted = 0.0
+        self.cancelled_remaining = 0.0
+        self.jobs = []  # live handles
+
+    @rule(demand=st.floats(min_value=0.01, max_value=20.0))
+    def submit(self, demand):
+        job = self.resource.use(demand)
+        self.submitted += demand
+        self.jobs.append(job)
+
+    @rule(dt=st.floats(min_value=0.01, max_value=10.0))
+    def advance(self, dt):
+        self.env.run(until=self.env.now + dt)
+
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def cancel_one(self, index):
+        live = [j for j in self.jobs if not j.done and not j.cancelled]
+        if not live:
+            return
+        job = live[index % len(live)]
+        self.cancelled_remaining += self.resource.cancel(job)
+
+    @rule(capacity=st.floats(min_value=0.5, max_value=8.0))
+    def change_capacity(self, capacity):
+        self.resource.set_capacity(capacity)
+
+    @invariant()
+    def work_is_bounded(self):
+        """Live jobs' remaining work lies in [0, demand], and accounting
+        brackets the submitted total from both sides."""
+        self.resource._advance()  # sync virtual time to now
+        remaining_sum = 0.0
+        demand_sum = 0.0
+        for job in self.jobs:
+            if job.done or job.cancelled:
+                continue
+            remaining = (job._target_v - self.resource._vtime) * job.weight
+            assert -1e-6 <= remaining <= job.demand + 1e-6
+            remaining_sum += max(0.0, remaining)
+            demand_sum += job.demand
+        booked = (
+            self.resource.completed_units
+            + self.resource.cancelled_units
+            + self.cancelled_remaining
+        )
+        accounted_low = booked + remaining_sum
+        accounted_high = booked + demand_sum
+        assert accounted_low <= self.submitted + 1e-6
+        assert accounted_high >= self.submitted - 1e-6
+
+    @invariant()
+    def active_count_matches_live_jobs(self):
+        live = sum(1 for j in self.jobs if not j.done and not j.cancelled)
+        assert self.resource.n_active == live
+
+    def teardown(self):
+        # Draining the queue must complete every remaining job, and the
+        # final books must balance exactly: everything submitted was
+        # either served or returned by a cancellation.
+        self.env.run()
+        for job in self.jobs:
+            assert job.done or job.cancelled
+        assert (
+            self.resource.completed_units
+            + self.resource.cancelled_units
+            + self.cancelled_remaining
+            == pytest.approx(self.submitted, rel=1e-6, abs=1e-6)
+        )
+
+
+TestFairShareStateful = FairShareMachine.TestCase
+TestFairShareStateful.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

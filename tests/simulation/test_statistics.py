@@ -1,0 +1,102 @@
+"""Tests for time-weighted statistics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import RunningMean, TimeWeightedSignal
+
+
+class TestTimeWeightedSignal:
+    def test_constant_signal_average(self):
+        s = TimeWeightedSignal(3.0)
+        cp = s.checkpoint(0.0)
+        assert s.average(cp, 10.0) == pytest.approx(3.0)
+
+    def test_step_signal_average(self):
+        s = TimeWeightedSignal(0.0)
+        s.set(0.0, 1.0)
+        s.set(5.0, 3.0)
+        cp0 = (0.0, 0.0)
+        # 0..5 at 1, 5..10 at 3 -> mean 2.
+        assert s.average(cp0, 10.0) == pytest.approx(2.0)
+
+    def test_add_increments(self):
+        s = TimeWeightedSignal(0.0)
+        s.add(0.0, 2.0)
+        s.add(1.0, -1.0)
+        assert s.value == pytest.approx(1.0)
+        assert s.integral(2.0) == pytest.approx(2.0 + 1.0)
+
+    def test_windowed_average_with_checkpoint(self):
+        s = TimeWeightedSignal(0.0)
+        s.set(0.0, 10.0)
+        cp = s.checkpoint(4.0)
+        s.set(6.0, 0.0)
+        # Window 4..8: 10 for 2s, 0 for 2s -> 5.
+        assert s.average(cp, 8.0) == pytest.approx(5.0)
+
+    def test_empty_window_returns_instant_value(self):
+        s = TimeWeightedSignal(7.0)
+        cp = s.checkpoint(3.0)
+        assert s.average(cp, 3.0) == 7.0
+
+    def test_time_backwards_rejected(self):
+        s = TimeWeightedSignal(0.0)
+        s.set(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.set(4.0, 2.0)
+
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=5.0),
+                st.floats(min_value=-10.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_integral_matches_manual_sum(self, steps):
+        s = TimeWeightedSignal(0.0)
+        t = 0.0
+        manual = 0.0
+        value = 0.0
+        for dt, v in steps:
+            manual += value * dt
+            t += dt
+            s.set(t, v)
+            value = v
+        assert s.integral(t) == pytest.approx(manual, rel=1e-9, abs=1e-9)
+
+
+class TestRunningMean:
+    def test_mean_and_variance(self):
+        rm = RunningMean()
+        for x in [2.0, 4.0, 6.0]:
+            rm.add(x)
+        assert rm.mean == pytest.approx(4.0)
+        assert rm.variance == pytest.approx(4.0)
+        assert rm.std == pytest.approx(2.0)
+        assert len(rm) == 3
+
+    def test_single_observation_zero_variance(self):
+        rm = RunningMean()
+        rm.add(5.0)
+        assert rm.mean == 5.0
+        assert rm.variance == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, xs):
+        import numpy as np
+
+        rm = RunningMean()
+        for x in xs:
+            rm.add(x)
+        assert rm.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+        if len(xs) > 1:
+            assert rm.variance == pytest.approx(
+                float(np.var(xs, ddof=1)), rel=1e-9, abs=1e-6
+            )

@@ -1,0 +1,81 @@
+"""Meta-tests on the public API surface: documentation and conventions.
+
+A reproduction meant for adoption needs every public item documented;
+these tests walk the package and enforce it mechanically.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_SKIP_MODULES = {"repro.__main__"}
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in _SKIP_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_module_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module.__name__} lacks a module docstring"
+        )
+
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_public_items_documented(self, module):
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, (
+            f"{module.__name__}: undocumented public items {undocumented}"
+        )
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_all_entries_resolve(self, module):
+        missing = [
+            name
+            for name in getattr(module, "__all__", [])
+            if not hasattr(module, name)
+        ]
+        assert not missing, f"{module.__name__}: __all__ lists missing {missing}"
+
+    def test_top_level_exports_stable(self):
+        expected = {
+            "QAPipeline",
+            "DistributedQASystem",
+            "SystemConfig",
+            "Strategy",
+            "ModelParameters",
+            "generate_corpus",
+            "generate_questions",
+            "profile_question",
+        }
+        assert expected <= set(repro.__all__)
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
