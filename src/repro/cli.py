@@ -4,6 +4,7 @@ Commands
 --------
 ask         answer a free-form question over the generated corpus
 simulate    run a workload on the simulated distributed cluster
+chaos       randomized fault-injection campaign (fault rates x strategies)
 model       analytical capacity planning for given bandwidths
 experiments regenerate any of the paper's tables/figures (see
             ``python -m repro.experiments.runner``)
@@ -71,6 +72,39 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    from .core import PartitioningStrategy
+    from .experiments.chaos_campaign import format_campaign, run_campaign
+
+    strategies = [PartitioningStrategy[s] for s in args.strategies]
+    try:
+        cells = run_campaign(
+            n_nodes=args.nodes,
+            n_questions=args.questions,
+            strategies=strategies,
+            fault_rates=args.fault_rates,
+            seed=args.seed,
+            retry_budget=args.retry_budget,
+            mean_downtime_s=args.mean_downtime,
+            min_live_nodes=args.min_live,
+        )
+    except ValueError as exc:  # bad knob combination: usage error
+        raise SystemExit(f"chaos: invalid configuration: {exc}") from exc
+    except RuntimeError as exc:  # unaccounted questions: hard failure
+        raise SystemExit(f"chaos campaign FAILED: {exc}") from exc
+    print(
+        f"Chaos campaign on {args.nodes} nodes, {args.questions} questions"
+        f"/cell, seed {args.seed} (reproduce any cell with the same seed):"
+    )
+    print(format_campaign(cells))
+    lost = sum(c.accounting.lost for c in cells)
+    retries = sum(c.accounting.retries for c in cells)
+    print(
+        f"accounting OK in all {len(cells)} cells "
+        f"(total lost {lost}, total front-end retries {retries})"
+    )
+
+
 def _cmd_model(args: argparse.Namespace) -> None:
     from .model import (
         ModelParameters,
@@ -126,6 +160,32 @@ def main(argv: t.Sequence[str] | None = None) -> None:
     sim.add_argument("--stagger", type=float, default=2.0)
     sim.add_argument("--seed", type=int, default=11)
     sim.set_defaults(func=_cmd_simulate)
+
+    chaos = sub.add_parser(
+        "chaos", help="randomized fault-injection campaign"
+    )
+    chaos.add_argument("--nodes", type=int, default=6)
+    chaos.add_argument("--questions", type=int, default=12)
+    chaos.add_argument(
+        "--strategies", nargs="*", choices=["SEND", "ISEND", "RECV"],
+        default=["SEND", "ISEND", "RECV"],
+    )
+    chaos.add_argument(
+        "--fault-rates", type=float, nargs="*",
+        default=[0.0, 1.0 / 400.0, 1.0 / 150.0],
+        help="expected crashes per node per second (sweep values)",
+    )
+    chaos.add_argument("--seed", type=int, default=11)
+    chaos.add_argument(
+        "--retry-budget", type=int, default=3,
+        help="front-end re-admissions per lost-host question",
+    )
+    chaos.add_argument("--mean-downtime", type=float, default=30.0)
+    chaos.add_argument(
+        "--min-live", type=int, default=2,
+        help="schedules never drop the live node count below this",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     model = sub.add_parser("model", help="analytical capacity planning")
     model.add_argument("--net", default="100 Mbps", help='e.g. "1 Gbps"')

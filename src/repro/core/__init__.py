@@ -23,7 +23,9 @@ from .meta_scheduler import Assignment, meta_schedule
 from .monitor import LoadMonitor, MonitoringSystem
 from .node import ClusterNode, NodeConfig
 from .partitioning import (
+    PartitionAbort,
     PartitioningStrategy,
+    RetryPolicy,
     WorkerFailed,
     make_chunks,
     partition_isend,
@@ -48,9 +50,11 @@ __all__ = [
     "MonitoringSystem",
     "NodeConfig",
     "PR_WEIGHTS",
+    "PartitionAbort",
     "PartitioningStrategy",
     "QA_WEIGHTS",
     "QuestionDispatcher",
+    "RetryPolicy",
     "ResourceWeights",
     "Strategy",
     "SystemConfig",

@@ -33,6 +33,10 @@ class QuestionDispatcher:
         self,
         monitoring: MonitoringSystem,
         migration_threshold: float | None = None,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_s: float = 5.0,
     ) -> None:
         self.monitoring = monitoring
         #: The "average workload of a single question" in load-function
@@ -42,8 +46,18 @@ class QuestionDispatcher:
             if migration_threshold is None
             else migration_threshold
         )
+        #: Migration dispatch attempts per question: a migration transfer
+        #: that fails (target died between the load broadcast and the
+        #: hand-off) is retried with exponential backoff against the next
+        #: candidate, at most this many times, before staying home.
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
         self.decisions = 0
         self.migrations = 0
+        #: Migration transfers that failed mid-hand-off (chaos visibility).
+        self.migration_failures = 0
 
     @staticmethod
     def qa_load(snap: LoadSnapshot) -> float:
@@ -61,17 +75,34 @@ class QuestionDispatcher:
         measured = load_function(QA_WEIGHTS, snap)
         return commitment + 0.01 * measured
 
-    def choose(self, host_id: int) -> int:
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before retrying after a failed migration ``attempt``."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(
+            self.backoff_base_s * self.backoff_factor**attempt,
+            self.backoff_max_s,
+        )
+
+    def choose(
+        self, host_id: int, exclude: t.AbstractSet[int] = frozenset()
+    ) -> int:
         """Return the node that should run a question starting at ``host_id``.
 
         Returns ``host_id`` itself when no migration is warranted.
+        ``exclude`` removes candidates a previous attempt already found
+        dead (the retry loop's memory within one dispatch).
         """
         self.decisions += 1
         table = self.monitoring.view(host_id)
         host_snap = table.get(host_id)
         if host_snap is None:  # pragma: no cover - host always sees itself
             return host_id
-        loads = {nid: self.qa_load(snap) for nid, snap in table.items()}
+        loads = {
+            nid: self.qa_load(snap)
+            for nid, snap in table.items()
+            if nid == host_id or nid not in exclude
+        }
         best = min(loads, key=lambda nid: (loads[nid], nid))
         if best == host_id:
             return host_id

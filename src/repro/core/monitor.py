@@ -106,6 +106,18 @@ class MonitoringSystem:
             LoadMonitor(self, n, interval_s=interval_s, packet_bytes=packet_bytes)
             for n in nodes
         ]
+        #: Last heartbeat seen from each node (any observer).
+        self.last_broadcast: dict[int, float] = {n.node_id: 0.0 for n in nodes}
+        #: Membership transitions as the protocol itself would observe
+        #: them: (time, node_id, live).  A node "leaves" when its
+        #: heartbeat goes stale past the membership timeout and "joins"
+        #: when it broadcasts again — so the gap between an injected kill
+        #: and the logged leave is the protocol's detection latency.
+        self.membership_log: list[tuple[float, int, bool]] = []
+        self._live: dict[int, bool] = {n.node_id: True for n in nodes}
+        env.process(
+            self._membership_sentinel(interval_s), name="membership-sentinel"
+        )
         # Seed tables with idle snapshots so dispatch works before the
         # first broadcast round.
         for nid in self.tables:
@@ -120,9 +132,23 @@ class MonitoringSystem:
 
     def deliver(self, snapshot: LoadSnapshot) -> None:
         """A broadcast arrived: every up node (and the sender) records it."""
+        self.last_broadcast[snapshot.node_id] = snapshot.timestamp
         for nid, node in self.nodes.items():
             if node.up or nid == snapshot.node_id:
                 self.tables[nid][snapshot.node_id] = snapshot
+
+    def _membership_sentinel(
+        self, interval_s: float
+    ) -> t.Generator[Event, object, None]:
+        """Log pool joins/leaves from heartbeat staleness (runs forever)."""
+        while True:
+            yield self.env.timeout(interval_s)
+            now = self.env.now
+            for nid, last in self.last_broadcast.items():
+                live = now - last <= self.membership_timeout_s
+                if live != self._live[nid]:
+                    self._live[nid] = live
+                    self.membership_log.append((now, nid, live))
 
     def view(self, observer: int) -> dict[int, LoadSnapshot]:
         """The live-membership load table as seen by ``observer``.

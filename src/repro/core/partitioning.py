@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 import typing as t
+from dataclasses import dataclass
 
 from ..simulation.engine import Environment, Process
 from ..simulation.events import Event
@@ -33,6 +34,7 @@ from ..simulation.events import Event
 __all__ = [
     "PartitionAbort",
     "PartitioningStrategy",
+    "RetryPolicy",
     "WorkerFailed",
     "partition_send",
     "partition_isend",
@@ -58,6 +60,48 @@ class PartitionAbort(RuntimeError):
     Since the task's host always participates in its own partitions, this
     only happens when the host itself is down — the task is lost.
     """
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded-retry + exponential-backoff policy for recovery loops.
+
+    One *recovery round* is one pass of a distribution loop that had to
+    reschedule work after worker failures.  The default policy
+    (``max_rounds=None``, no backoff) reproduces the paper's behaviour:
+    retry until the worker pool is exhausted, immediately.  Chaos
+    campaigns run with a bounded budget and backoff so that a flapping
+    cluster converges (or fails fast) instead of thrashing.
+    """
+
+    #: Recovery rounds allowed before the loop gives up with
+    #: :class:`PartitionAbort`; ``None`` retries while workers remain.
+    max_rounds: int | None = None
+    #: First backoff delay; 0 disables backoff entirely.
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_rounds is not None and self.max_rounds < 0:
+            raise ValueError("max_rounds must be >= 0 (or None)")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def exhausted(self, rounds: int) -> bool:
+        """True once ``rounds`` recovery rounds exceed the budget."""
+        return self.max_rounds is not None and rounds > self.max_rounds
+
+    def delay(self, round_index: int) -> float:
+        """Backoff before retry round ``round_index`` (0-based)."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(
+            self.backoff_base_s * self.backoff_factor**round_index,
+            self.backoff_max_s,
+        )
 
 
 class WorkerFailed(Exception):
@@ -181,19 +225,23 @@ def run_sender_controlled(
     shares: t.Sequence[tuple[int, float]],
     executor: Executor,
     interleaved: bool,
+    policy: RetryPolicy | None = None,
 ) -> t.Generator[Event, object, list[object]]:
     """Fig 5(c): the sender-controlled distribution loop (SEND/ISEND).
 
     Partitions ``items`` by the assignment ``shares``, runs all partitions
     in parallel (one monitor per worker, as the paper uses one thread per
     processor), collects failures, rebuilds a task from unprocessed
-    partitions and repeats until everything is processed.
+    partitions and repeats until everything is processed.  ``policy``
+    bounds the recovery rounds and inserts backoff between them.
 
     Returns the list of per-partition results in completion order.
     """
+    policy = policy or RetryPolicy()
     results: list[object] = []
     pending = list(items)
     live_shares = list(shares)
+    rounds = 0
     while pending:
         if not live_shares:
             raise PartitionAbort("all workers failed; cannot finish partitioned task")
@@ -230,6 +278,16 @@ def run_sender_controlled(
             # Renormalize surviving weights.
             total = sum(w for _, w in live_shares)
             live_shares = [(nid, w / total) for nid, w in live_shares]
+        if failed_nodes and pending:
+            rounds += 1
+            if policy.exhausted(rounds):
+                raise PartitionAbort(
+                    f"retry budget exhausted after {rounds - 1} recovery "
+                    f"rounds; {len(pending)} items unprocessed"
+                )
+            delay = policy.delay(rounds - 1)
+            if delay > 0:
+                yield env.timeout(delay)
     return results
 
 
@@ -239,22 +297,27 @@ def run_receiver_controlled(
     node_ids: t.Sequence[int],
     executor: Executor,
     chunk_size: int,
+    policy: RetryPolicy | None = None,
 ) -> t.Generator[Event, object, list[object]]:
     """Fig 6(b): the receiver-controlled distribution loop (RECV).
 
     Chunks ``items``; each selected node runs a *puller* that repeatedly
     takes the next available chunk and processes it, until the chunk set
     is empty.  A failed chunk goes back to the set and its node leaves
-    the worker pool.
+    the worker pool.  ``policy`` bounds the re-pull rounds (spawned when
+    a worker fails after its peers already drained the visible chunk set)
+    and inserts backoff before each one.
 
     Returns per-chunk results in completion order.
     """
     if not node_ids:
         raise ValueError("need at least one worker")
+    policy = policy or RetryPolicy()
     chunks = make_chunks(items, chunk_size)
     available: list[list[T]] = list(reversed(chunks))  # pop() from the front
     results: list[object] = []
     pool = list(node_ids)
+    rounds = 0
 
     def puller(nid: int) -> t.Generator[Event, object, int | None]:
         while available:
@@ -273,6 +336,15 @@ def run_receiver_controlled(
     while available:
         if not pool:
             raise PartitionAbort("all workers failed; unprocessed chunks remain")
+        if rounds > 0:
+            if policy.exhausted(rounds):
+                raise PartitionAbort(
+                    f"retry budget exhausted after {rounds - 1} re-pull "
+                    f"rounds; {len(available)} chunks unprocessed"
+                )
+            delay = policy.delay(rounds - 1)
+            if delay > 0:
+                yield env.timeout(delay)
         procs = [
             env.process(puller(nid), name=f"chunk-puller[{nid}]")
             for nid in pool
@@ -280,6 +352,7 @@ def run_receiver_controlled(
         done = yield env.all_of(procs)
         failed = {done[p] for p in procs if done[p] is not None}
         pool = [nid for nid in pool if nid not in failed]
+        rounds += 1
     return results
 
 

@@ -26,6 +26,7 @@ from .meta_scheduler import Assignment, meta_schedule
 from .partitioning import (
     PartitionAbort,
     PartitioningStrategy,
+    RetryPolicy,
     WorkerFailed,
     run_receiver_controlled,
     run_sender_controlled,
@@ -74,6 +75,10 @@ class TaskPolicy:
     #: Fraction of a question's memory that is host-side state; the rest
     #: is the paragraph working set held by whichever node(s) execute AP.
     host_memory_fraction: float = 0.5
+    #: Bounded-retry/backoff policy for the distribution loops' failure
+    #: recovery.  The default (unbounded, no backoff) is the paper's
+    #: behaviour; chaos campaigns bound it so flapping clusters converge.
+    distribution_retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass(slots=True)
@@ -238,20 +243,10 @@ class DistributedQATask:
         # If the DNS-allocated node is over-loaded relative to a peer, the
         # task migrates (and queues there if needed).
         if self.policy.enable_question_dispatch:
-            target = self.system.question_dispatcher.choose(self.host)
-            if target != self.host:
-                yield from self.system.network.transfer(
-                    self.host, target, profile.question_bytes
-                )
-                self._trace(self.host, "qa-migrate", f"-> N{target}")
-                result.migrated_qa = True
-                source = self._node(self.host)
-                source.active_questions -= 1
-                source.release_question()
-                try:
-                    yield from self._enqueue(target)
-                except NodeDown:
-                    return self._abandon("migration target died while queued")
+            try:
+                yield from self._dispatch_question()
+            except NodeDown:
+                return self._abandon("migration target died while queued")
         result.host_node = self.host
         host_node = self._node(self.host)
         result.start_time = env.now
@@ -276,6 +271,41 @@ class DistributedQATask:
         if not result.failed:
             self._trace(self.host, "done", f"{result.response_time:.2f}s")
         return result
+
+    def _dispatch_question(self) -> t.Generator[Event, object, None]:
+        """Scheduling point 1 with bounded retry + exponential backoff.
+
+        The migration hand-off can fail mid-transfer when the chosen
+        target died after the last load broadcast.  Rather than losing
+        the question, the dispatcher backs off and retries against the
+        next-best candidate, up to its attempt budget; once the budget is
+        exhausted the question stays home.
+        """
+        dispatcher = self.system.question_dispatcher
+        dead: set[int] = set()
+        for attempt in range(dispatcher.max_attempts):
+            target = dispatcher.choose(self.host, exclude=dead)
+            if target == self.host:
+                return
+            try:
+                yield from self.system.network.transfer(
+                    self.host, target, self.profile.question_bytes
+                )
+            except TransferFailed:
+                dispatcher.migration_failures += 1
+                dead.add(target)
+                self._trace(self.host, "qa-migrate-failed", f"-> N{target}")
+                delay = dispatcher.backoff_delay(attempt)
+                if delay > 0:
+                    yield self.system.env.timeout(delay)
+                continue
+            self._trace(self.host, "qa-migrate", f"-> N{target}")
+            self.result.migrated_qa = True
+            source = self._node(self.host)
+            source.active_questions -= 1
+            source.release_question()
+            yield from self._enqueue(target)
+            return
 
     def _run_stages(self) -> t.Generator[Event, object, None]:
         profile = self.profile
@@ -538,7 +568,8 @@ class DistributedQATask:
             return
         if strategy is PartitioningStrategy.RECV:
             yield from run_receiver_controlled(
-                env, items, assignment.node_ids, executor, chunk_size
+                env, items, assignment.node_ids, executor, chunk_size,
+                policy=self.policy.distribution_retry,
             )
         else:
             yield from run_sender_controlled(
@@ -547,6 +578,7 @@ class DistributedQATask:
                 assignment.shares,
                 executor,
                 interleaved=strategy is PartitioningStrategy.ISEND,
+                policy=self.policy.distribution_retry,
             )
 
     def _single_node_with_recovery(

@@ -73,6 +73,12 @@ class SystemConfig:
     gradient_interval_s: float = 0.5
     trace: bool = False
     seed: int = 0
+    #: Graceful degradation: how many times a question whose hosting node
+    #: died is re-admitted at the front-end before being reported lost.
+    question_retry_budget: int = 0
+    #: First front-end re-admission delay; doubles per attempt so a
+    #: cluster-wide blackout does not burn the whole budget in an instant.
+    question_retry_backoff_s: float = 1.0
 
     def effective_policy(self) -> TaskPolicy:
         """Derive the task policy from the strategy."""
@@ -105,10 +111,48 @@ class WorkloadReport:
     migrations_qa: int
     migrations_pr: int
     migrations_ap: int
+    #: Questions handed to the front-end (defaults to ``len(results)``).
+    n_admitted: int = -1
+    #: Front-end re-admissions of questions whose hosting node died.
+    n_retries: int = 0
+    #: Admitted questions unfinished when the run stopped (0 after a
+    #: completed run — the accounting invariant's third term).
+    n_in_flight: int = 0
+    #: Per recovered question: first host death to final completion.
+    recovery_latencies_s: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_admitted < 0:
+            self.n_admitted = len(self.results)
 
     @property
     def n_questions(self) -> int:
         return len(self.results)
+
+    @property
+    def n_completed(self) -> int:
+        """Questions that produced an answer."""
+        return sum(1 for r in self.results if not r.failed)
+
+    @property
+    def n_lost(self) -> int:
+        """Questions lost to host failures after exhausting retries."""
+        return sum(1 for r in self.results if r.failed)
+
+    @property
+    def accounted(self) -> bool:
+        """No question vanished: completed + lost + in-flight == admitted."""
+        return (
+            self.n_completed + self.n_lost + self.n_in_flight
+            == self.n_admitted
+        )
+
+    @property
+    def mean_recovery_latency_s(self) -> float:
+        """Mean first-host-death-to-completion time of recovered questions."""
+        if not self.recovery_latencies_s:
+            return 0.0
+        return float(np.mean(self.recovery_latencies_s))
 
     @property
     def throughput_qpm(self) -> float:
@@ -187,6 +231,8 @@ class DistributedQASystem:
             on_transition=None,
         )
         self._task_procs: list[Process] = []
+        #: The report from the most recent run_workload call.
+        self.last_report: WorkloadReport | None = None
         self.steals_attempted = 0
         if self.config.work_stealing:
             self.env.process(self._stealer(), name="work-stealer")
@@ -269,7 +315,7 @@ class DistributedQASystem:
         self,
         profiles: t.Sequence[QuestionProfile],
         arrival_times: t.Sequence[float] | None = None,
-        resubmit_failed: int = 0,
+        resubmit_failed: int | None = None,
     ) -> WorkloadReport:
         """Run a batch of questions to completion and report metrics.
 
@@ -277,33 +323,53 @@ class DistributedQASystem:
         until every submitted task finishes (load monitors keep running
         forever, so we run until the last task's completion event).
 
-        ``resubmit_failed`` allows up to that many re-submissions per
+        ``resubmit_failed`` allows up to that many re-admissions per
         question whose hosting node died (the front-end retrying against
-        another address); the final attempt's result is reported.
+        another address, with exponential backoff); the final attempt's
+        result is reported.  Defaults to the config's
+        ``question_retry_budget``.  Every admitted question is accounted
+        for: it ends up completed or lost, never silently dropped.
         """
         if arrival_times is None:
             arrival_times = [0.0] * len(profiles)
         if len(arrival_times) != len(profiles):
             raise ValueError("arrival_times length must match profiles")
+        retry_budget = (
+            self.config.question_retry_budget
+            if resubmit_failed is None
+            else resubmit_failed
+        )
 
         done: list[TaskResult] = []
+        retries = 0
+        recovery_latencies: list[float] = []
         finished = self.env.event(name="workload-finished")
         remaining = len(profiles)
         if remaining == 0:
-            return WorkloadReport([], 0.0, 0, 0, 0)
+            self.last_report = WorkloadReport([], 0.0, 0, 0, 0)
+            return self.last_report
 
         def tracked(profile: QuestionProfile, when: float):
             def body() -> t.Generator[Event, object, None]:
-                nonlocal remaining
+                nonlocal remaining, retries
                 if when > self.env.now:
                     yield self.env.timeout(when - self.env.now)
                 result = yield self.submit(profile)
                 attempts = 0
+                first_failure_at: float | None = None
                 while (
                     t.cast(TaskResult, result).failed
-                    and attempts < resubmit_failed
+                    and attempts < retry_budget
                 ):
+                    if first_failure_at is None:
+                        first_failure_at = self.env.now
                     attempts += 1
+                    retries += 1
+                    backoff = self.config.question_retry_backoff_s * (
+                        2.0 ** (attempts - 1)
+                    )
+                    if backoff > 0:
+                        yield self.env.timeout(backoff)
                     # Retry against the next live node (skip dead ones).
                     entry = None
                     for _ in range(self.config.n_nodes):
@@ -312,7 +378,10 @@ class DistributedQASystem:
                             entry = candidate
                             break
                     result = yield self.submit(profile, entry_node=entry)
-                done.append(t.cast(TaskResult, result))
+                final = t.cast(TaskResult, result)
+                if first_failure_at is not None and not final.failed:
+                    recovery_latencies.append(self.env.now - first_failure_at)
+                done.append(final)
                 remaining -= 1
                 if remaining == 0:
                     finished.succeed()
@@ -325,10 +394,15 @@ class DistributedQASystem:
 
         first_arrival = min(arrival_times)
         makespan = self.env.now - first_arrival
-        return WorkloadReport(
+        self.last_report = WorkloadReport(
             results=sorted(done, key=lambda r: r.qid),
             makespan_s=makespan,
             migrations_qa=sum(1 for r in done if r.migrated_qa),
             migrations_pr=sum(1 for r in done if r.migrated_pr),
             migrations_ap=sum(1 for r in done if r.migrated_ap),
+            n_admitted=len(profiles),
+            n_retries=retries,
+            n_in_flight=0,
+            recovery_latencies_s=recovery_latencies,
         )
+        return self.last_report

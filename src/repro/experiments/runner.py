@@ -73,6 +73,7 @@ EXPERIMENTS: dict[str, t.Callable[[], str]] = {
     ),
     "ablation-threshold": lambda: format_threshold_sweep(run_threshold_sweep()),
     "ablation-margin": lambda: format_margin_sweep(run_margin_sweep()),
+    "ext-chaos": lambda: _ext_chaos(),
     "ext-prediction": lambda: _ext_prediction(),
     "ext-heterogeneous": lambda: _ext_heterogeneous(),
     "ext-churn": lambda: _ext_churn(),
@@ -81,6 +82,12 @@ EXPERIMENTS: dict[str, t.Callable[[], str]] = {
     "ext-staleness": lambda: _ext_staleness(),
     "ext-stealing": lambda: _ext_stealing(),
 }
+
+
+def _ext_chaos() -> str:
+    from .chaos_campaign import format_campaign, run_campaign
+
+    return format_campaign(run_campaign())
 
 
 def _ext_stealing() -> str:

@@ -14,6 +14,7 @@ Pentium III machines) with a deterministic discrete-event simulator:
 * :class:`~repro.simulation.failures.FailureInjector` — node crash/recovery.
 """
 
+from .chaos import ChaosConfig, FaultInterval, generate_chaos_schedule
 from .engine import EmptySchedule, Environment, Process
 from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
 from .failures import FailureInjector, FailureSchedule
@@ -24,12 +25,14 @@ from .statistics import RunningMean, TimeWeightedSignal
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ChaosConfig",
     "EmptySchedule",
     "Environment",
     "Event",
     "FailureInjector",
     "FailureSchedule",
     "FairShareResource",
+    "FaultInterval",
     "Interrupt",
     "Job",
     "MemoryResource",
@@ -40,4 +43,5 @@ __all__ = [
     "TimeWeightedSignal",
     "Timeout",
     "TransferFailed",
+    "generate_chaos_schedule",
 ]

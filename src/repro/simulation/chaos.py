@@ -1,0 +1,219 @@
+"""Randomized failure-schedule generation (chaos campaigns).
+
+The hand-written schedules in :mod:`repro.experiments.robustness_exp`
+exercise single, well-separated outages.  The paper's design claims more:
+all three partitioning strategies recover from processors leaving *and
+rejoining* mid-task (Fig 5c, Fig 6b), and membership is fully dynamic
+("processors must be able to dynamically join or leave the system pool",
+Section 3).  To probe that claim systematically, this module generates
+*seeded randomized* :class:`~repro.simulation.failures.FailureSchedule`\\ s
+mixing four fault archetypes:
+
+* **crash/recover storms** — independent per-node crashes at a Poisson
+  rate, each followed by an exponentially distributed downtime;
+* **correlated failures** — several nodes lost at the same instant (a
+  switch port group, a power rail);
+* **flapping nodes** — rapid down/up cycles, the worst case for the
+  membership timeout;
+* **permanent deaths** — a node leaves and never returns.
+
+Schedules are pure data: generation uses only a private
+``random.Random(seed)``, so a seed fully reproduces a campaign.  A
+``min_live_nodes`` floor is enforced by construction — fault intervals
+that would drop the live population below the floor are discarded
+deterministically, keeping every generated scenario survivable by design
+(total-cluster death is tested separately, not randomly).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import typing as t
+from dataclasses import dataclass
+
+from .failures import FailureSchedule
+
+__all__ = ["ChaosConfig", "FaultInterval", "generate_chaos_schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Knobs for one randomized failure campaign.
+
+    ``crash_rate`` is the expected number of crashes per node per second;
+    the fault-rate sweep of the chaos campaign scales exactly this knob.
+    """
+
+    seed: int = 0
+    #: Faults are generated inside [start_s, horizon_s).
+    horizon_s: float = 600.0
+    start_s: float = 5.0
+    #: Expected crashes per node-second (Poisson process per node).
+    crash_rate: float = 1.0 / 200.0
+    #: Mean downtime of an ordinary crash (exponential).
+    mean_downtime_s: float = 40.0
+    #: Downtime is clamped to at least this (a reboot is never instant).
+    min_downtime_s: float = 2.0
+    #: Probability that a crash takes a correlated group down with it.
+    correlated_prob: float = 0.15
+    #: Further nodes (beyond the crashing one) lost in a correlated event.
+    correlated_extra: int = 1
+    #: Probability that a crash is the start of a flapping episode.
+    flap_prob: float = 0.15
+    #: Down/up cycles in one flapping episode.
+    flap_cycles: int = 3
+    #: Length of each flap down- and up-phase.
+    flap_period_s: float = 3.0
+    #: Probability that a crash is permanent (the node never recovers).
+    permanent_prob: float = 0.1
+    #: Never let the live population fall below this.
+    min_live_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= self.start_s:
+            raise ValueError("horizon_s must exceed start_s")
+        if self.crash_rate < 0:
+            raise ValueError("crash_rate must be non-negative")
+        if self.min_live_nodes < 1:
+            raise ValueError("min_live_nodes must be >= 1")
+        for name in ("correlated_prob", "flap_prob", "permanent_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInterval:
+    """One node-down interval; ``end`` is ``inf`` for permanent deaths."""
+
+    node_id: int
+    start: float
+    end: float
+
+    @property
+    def permanent(self) -> bool:
+        return math.isinf(self.end)
+
+
+def generate_chaos_schedule(
+    config: ChaosConfig, n_nodes: int
+) -> FailureSchedule:
+    """Generate a seeded randomized schedule for an ``n_nodes`` cluster."""
+    intervals = generate_fault_intervals(config, n_nodes)
+    schedule = FailureSchedule()
+    for iv in intervals:
+        schedule.kill_at(iv.start, iv.node_id)
+        if not iv.permanent:
+            schedule.recover_at(iv.end, iv.node_id)
+    return schedule
+
+
+def generate_fault_intervals(
+    config: ChaosConfig, n_nodes: int
+) -> list[FaultInterval]:
+    """The schedule as non-overlapping per-node down intervals.
+
+    Exposed separately so tests (and reports) can assert invariants on
+    the interval form directly.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    rng = random.Random(config.seed)
+    raw: list[FaultInterval] = []
+    for nid in range(n_nodes):
+        raw.extend(_node_intervals(config, rng, nid, n_nodes))
+    raw.sort(key=lambda iv: (iv.start, iv.node_id, iv.end))
+    merged = _merge_per_node(raw)
+    return _enforce_min_live(merged, n_nodes, config.min_live_nodes)
+
+
+def _node_intervals(
+    config: ChaosConfig, rng: random.Random, nid: int, n_nodes: int
+) -> t.Iterator[FaultInterval]:
+    """One node's Poisson crash process, expanded into down intervals.
+
+    Correlated events drag ``correlated_extra`` randomly chosen peers
+    down for the same interval; flapping expands one crash into several
+    short cycles.  All intervals are clipped to the horizon.
+    """
+    if config.crash_rate <= 0:
+        return
+    now = config.start_s + rng.expovariate(config.crash_rate)
+    while now < config.horizon_s:
+        kind = rng.random()
+        if kind < config.permanent_prob:
+            yield FaultInterval(nid, now, math.inf)
+            return
+        if kind < config.permanent_prob + config.flap_prob:
+            start = now
+            for _ in range(config.flap_cycles):
+                end = min(start + config.flap_period_s, config.horizon_s)
+                yield FaultInterval(nid, start, end)
+                start = end + config.flap_period_s
+                if start >= config.horizon_s:
+                    break
+            now = start
+        else:
+            downtime = max(
+                config.min_downtime_s,
+                rng.expovariate(1.0 / config.mean_downtime_s),
+            )
+            end = now + downtime
+            yield FaultInterval(nid, now, end)
+            if rng.random() < config.correlated_prob and n_nodes > 1:
+                peers = [k for k in range(n_nodes) if k != nid]
+                for peer in rng.sample(
+                    peers, min(config.correlated_extra, len(peers))
+                ):
+                    yield FaultInterval(peer, now, end)
+            now = end
+        now += rng.expovariate(config.crash_rate)
+
+
+def _merge_per_node(intervals: list[FaultInterval]) -> list[FaultInterval]:
+    """Coalesce overlapping down intervals of the same node."""
+    by_node: dict[int, list[FaultInterval]] = {}
+    for iv in intervals:
+        by_node.setdefault(iv.node_id, []).append(iv)
+    merged: list[FaultInterval] = []
+    for nid, ivs in by_node.items():
+        ivs.sort(key=lambda iv: (iv.start, iv.end))
+        current = ivs[0]
+        for iv in ivs[1:]:
+            if iv.start <= current.end:
+                current = FaultInterval(
+                    nid, current.start, max(current.end, iv.end)
+                )
+            else:
+                merged.append(current)
+                current = iv
+        merged.append(current)
+    merged.sort(key=lambda iv: (iv.start, iv.node_id))
+    return merged
+
+
+def _enforce_min_live(
+    intervals: list[FaultInterval], n_nodes: int, min_live: int
+) -> list[FaultInterval]:
+    """Drop intervals that would leave fewer than ``min_live`` nodes up.
+
+    A sweep in start order keeps a conservative count of concurrently
+    down nodes; any interval whose admission would exceed the budget is
+    discarded whole (its recovery included), so the surviving schedule is
+    survivable at every instant.
+    """
+    budget = n_nodes - min_live
+    if budget <= 0:
+        return []
+    admitted: list[FaultInterval] = []
+    for iv in intervals:
+        overlapping = sum(
+            1
+            for other in admitted
+            if other.start <= iv.start < other.end
+            or iv.start <= other.start < iv.end
+        )
+        if overlapping < budget:
+            admitted.append(iv)
+    return admitted

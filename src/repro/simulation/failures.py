@@ -37,6 +37,18 @@ class FailureSchedule:
     def sorted(self) -> list[tuple[float, object, bool]]:
         return sorted(self.transitions, key=lambda x: x[0])
 
+    def merge(self, other: "FailureSchedule") -> "FailureSchedule":
+        """Append another schedule's transitions (returns ``self``)."""
+        self.transitions.extend(other.transitions)
+        return self
+
+    def node_ids(self) -> set[object]:
+        """Every node mentioned by the schedule."""
+        return {nid for _, nid, _ in self.transitions}
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
 
 class FailureInjector:
     """Drives node up/down transitions during a simulation.

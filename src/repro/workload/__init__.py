@@ -6,10 +6,18 @@ from .arrivals import (
     staggered_arrivals,
     trec_mix_profiles,
 )
-from .metrics import LatencySummary, speedup_table, summarize_latencies
+from .metrics import (
+    FailureAccounting,
+    LatencySummary,
+    failure_accounting,
+    speedup_table,
+    summarize_latencies,
+)
 
 __all__ = [
+    "FailureAccounting",
     "LatencySummary",
+    "failure_accounting",
     "high_load_count",
     "poisson_arrivals",
     "speedup_table",

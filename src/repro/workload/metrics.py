@@ -10,7 +10,13 @@ import numpy as np
 if t.TYPE_CHECKING:  # pragma: no cover
     from ..core.system import WorkloadReport
 
-__all__ = ["LatencySummary", "summarize_latencies", "speedup_table"]
+__all__ = [
+    "FailureAccounting",
+    "LatencySummary",
+    "failure_accounting",
+    "summarize_latencies",
+    "speedup_table",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +49,50 @@ def summarize_latencies(report: "WorkloadReport") -> LatencySummary:
         p95_s=float(np.percentile(times, 95)),
         min_s=float(times.min()),
         max_s=float(times.max()),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FailureAccounting:
+    """Question-conservation summary of one (possibly chaotic) run.
+
+    The invariant the chaos campaign asserts on every cell:
+    ``completed + lost + in_flight == admitted``.
+    """
+
+    admitted: int
+    completed: int
+    lost: int
+    in_flight: int
+    retries: int
+    mean_recovery_latency_s: float
+
+    @property
+    def balanced(self) -> bool:
+        return self.completed + self.lost + self.in_flight == self.admitted
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.admitted if self.admitted else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"admitted={self.admitted} completed={self.completed} "
+            f"lost={self.lost} in_flight={self.in_flight} "
+            f"retries={self.retries} "
+            f"recovery={self.mean_recovery_latency_s:.1f}s"
+        )
+
+
+def failure_accounting(report: "WorkloadReport") -> FailureAccounting:
+    """Extract the question-conservation ledger from a workload report."""
+    return FailureAccounting(
+        admitted=report.n_admitted,
+        completed=report.n_completed,
+        lost=report.n_lost,
+        in_flight=report.n_in_flight,
+        retries=report.n_retries,
+        mean_recovery_latency_s=report.mean_recovery_latency_s,
     )
 
 

@@ -1,0 +1,179 @@
+"""Tests for randomized failure-schedule generation (repro.simulation.chaos)."""
+
+import math
+
+import pytest
+
+from repro.simulation import ChaosConfig, FailureSchedule, generate_chaos_schedule
+from repro.simulation.chaos import FaultInterval, generate_fault_intervals
+
+
+def _down_intervals(config, n_nodes):
+    return generate_fault_intervals(config, n_nodes)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        cfg = ChaosConfig(seed=42, crash_rate=0.01)
+        a = generate_chaos_schedule(cfg, 8)
+        b = generate_chaos_schedule(cfg, 8)
+        assert a.transitions == b.transitions
+
+    def test_different_seeds_differ(self):
+        base = [
+            generate_chaos_schedule(ChaosConfig(seed=s, crash_rate=0.01), 8).transitions
+            for s in range(5)
+        ]
+        assert len({tuple(t) for t in base}) > 1
+
+    def test_node_count_changes_schedule(self):
+        cfg = ChaosConfig(seed=1, crash_rate=0.01)
+        small = generate_chaos_schedule(cfg, 2)
+        large = generate_chaos_schedule(cfg, 12)
+        assert len(large) >= len(small)
+
+
+class TestScheduleShape:
+    def test_zero_rate_empty(self):
+        cfg = ChaosConfig(seed=0, crash_rate=0.0)
+        assert len(generate_chaos_schedule(cfg, 8)) == 0
+
+    def test_rate_scales_fault_volume(self):
+        counts = []
+        for rate in (0.001, 0.01, 0.05):
+            total = sum(
+                len(_down_intervals(ChaosConfig(seed=s, crash_rate=rate), 8))
+                for s in range(5)
+            )
+            counts.append(total)
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_intervals_inside_horizon(self):
+        cfg = ChaosConfig(seed=3, crash_rate=0.02, horizon_s=300.0, start_s=10.0)
+        for iv in _down_intervals(cfg, 8):
+            assert iv.start >= cfg.start_s
+            assert iv.start < cfg.horizon_s
+
+    def test_per_node_intervals_disjoint(self):
+        cfg = ChaosConfig(seed=7, crash_rate=0.05)
+        by_node = {}
+        for iv in _down_intervals(cfg, 8):
+            by_node.setdefault(iv.node_id, []).append(iv)
+        for ivs in by_node.values():
+            ivs.sort(key=lambda iv: iv.start)
+            for a, b in zip(ivs, ivs[1:]):
+                assert a.end < b.start
+
+    def test_transitions_alternate_per_node(self):
+        cfg = ChaosConfig(seed=9, crash_rate=0.03)
+        schedule = generate_chaos_schedule(cfg, 6)
+        state = {}
+        for _, nid, up in schedule.sorted():
+            assert state.get(nid, True) != up  # kill when up, recover when down
+            state[nid] = up
+
+
+class TestFaultKinds:
+    def test_permanent_deaths(self):
+        cfg = ChaosConfig(
+            seed=5, crash_rate=0.02, permanent_prob=1.0, min_live_nodes=1
+        )
+        intervals = _down_intervals(cfg, 6)
+        assert intervals, "expected faults at this rate"
+        assert all(iv.permanent for iv in intervals)
+        # At most one interval per node: death is final.
+        nodes = [iv.node_id for iv in intervals]
+        assert len(nodes) == len(set(nodes))
+
+    def test_flapping_produces_short_cycles(self):
+        cfg = ChaosConfig(
+            seed=5,
+            crash_rate=0.01,
+            flap_prob=1.0,
+            permanent_prob=0.0,
+            correlated_prob=0.0,
+            flap_period_s=2.0,
+            flap_cycles=4,
+        )
+        intervals = _down_intervals(cfg, 4)
+        assert intervals
+        for iv in intervals:
+            assert iv.end - iv.start <= 2.0 + 1e-9
+
+    def test_correlated_failures_share_interval(self):
+        cfg = ChaosConfig(
+            seed=2,
+            crash_rate=0.01,
+            correlated_prob=1.0,
+            correlated_extra=2,
+            flap_prob=0.0,
+            permanent_prob=0.0,
+        )
+        intervals = _down_intervals(cfg, 8)
+        spans = {}
+        for iv in intervals:
+            spans.setdefault((iv.start, iv.end), set()).add(iv.node_id)
+        assert any(len(nodes) >= 2 for nodes in spans.values())
+
+
+class TestMinLiveFloor:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_below_floor(self, seed):
+        n_nodes, min_live = 6, 2
+        cfg = ChaosConfig(
+            seed=seed,
+            crash_rate=0.1,  # brutal: would sink the cluster unchecked
+            mean_downtime_s=120.0,
+            permanent_prob=0.3,
+            min_live_nodes=min_live,
+        )
+        intervals = _down_intervals(cfg, n_nodes)
+        events = []
+        for iv in intervals:
+            events.append((iv.start, 1))
+            if not iv.permanent:
+                events.append((iv.end, -1))
+        down = 0
+        for _, delta in sorted(events):
+            down += delta
+            assert n_nodes - down >= min_live
+
+    def test_floor_equal_to_cluster_disables_faults(self):
+        cfg = ChaosConfig(seed=1, crash_rate=0.1, min_live_nodes=4)
+        assert _down_intervals(cfg, 4) == []
+
+
+class TestValidation:
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(horizon_s=1.0, start_s=5.0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(crash_rate=-0.1)
+
+    def test_bad_min_live(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(min_live_nodes=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(flap_prob=1.5)
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fault_intervals(ChaosConfig(), 0)
+
+
+class TestFailureScheduleHelpers:
+    def test_merge_and_len(self):
+        a = FailureSchedule().kill_at(1.0, 0)
+        b = FailureSchedule().recover_at(2.0, 0).kill_at(3.0, 1)
+        merged = a.merge(b)
+        assert merged is a
+        assert len(a) == 3
+        assert a.node_ids() == {0, 1}
+
+    def test_fault_interval_permanent(self):
+        assert FaultInterval(0, 1.0, math.inf).permanent
+        assert not FaultInterval(0, 1.0, 2.0).permanent
