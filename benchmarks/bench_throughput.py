@@ -1,0 +1,27 @@
+"""Benchmark — end-to-end throughput, baseline vs optimized hot path.
+
+Runs the perf-regression harness (``repro.experiments.throughput_bench``)
+at benchmark scale and adds the rendered comparison to the report.  Only
+output equivalence can fail the run; timing numbers are informational
+(the JSON trajectory lives in BENCH_throughput.json via
+``python -m repro bench``).
+"""
+
+from repro.experiments.throughput_bench import (
+    BenchConfig,
+    format_throughput,
+    run_throughput_bench,
+)
+
+
+def test_throughput_hot_path(benchmark, report):
+    summary = benchmark.pedantic(
+        run_throughput_bench,
+        args=(BenchConfig(n_questions=120, n_unique=60),),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary["equivalence"]["equivalent"], summary["equivalence"]
+    assert summary["baseline"]["questions_per_sec"] > 0
+    assert summary["optimized"]["questions_per_sec"] > 0
+    report("Throughput — term-index hot path", format_throughput(summary))

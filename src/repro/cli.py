@@ -6,6 +6,9 @@ ask         answer a free-form question over the generated corpus
 simulate    run a workload on the simulated distributed cluster
 chaos       randomized fault-injection campaign (fault rates x strategies)
 model       analytical capacity planning for given bandwidths
+bench       end-to-end throughput benchmark (baseline vs optimized hot
+            path); writes BENCH_throughput.json and fails on any
+            output-equivalence mismatch
 experiments regenerate any of the paper's tables/figures (see
             ``python -m repro.experiments.runner``)
 """
@@ -130,6 +133,33 @@ def _cmd_model(args: argparse.Namespace) -> None:
         print(f"  system efficiency at {n:5d}    : {system_efficiency(p, n):.3f}")
 
 
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from .experiments.throughput_bench import (
+        BenchConfig,
+        format_throughput,
+        run_throughput_bench,
+        write_bench_json,
+    )
+
+    config = BenchConfig(
+        n_questions=args.questions,
+        n_unique=args.unique,
+        zipf_exponent=args.zipf,
+        corpus_seed=args.corpus_seed,
+        workload_seed=args.seed,
+        conjunction_cache=args.cache,
+    )
+    summary = run_throughput_bench(config)
+    print(format_throughput(summary))
+    out = write_bench_json(summary, args.output)
+    print(f"wrote {out}")
+    if not summary["equivalence"]["equivalent"]:
+        raise SystemExit(
+            "bench FAILED: optimized pipeline diverged from the reference "
+            f"path on questions {summary['equivalence']['mismatches']}"
+        )
+
+
 def _cmd_experiments(args: argparse.Namespace) -> None:
     from .experiments.runner import run_all
 
@@ -191,6 +221,33 @@ def main(argv: t.Sequence[str] | None = None) -> None:
     model.add_argument("--net", default="100 Mbps", help='e.g. "1 Gbps"')
     model.add_argument("--disk", default="250 Mbps", help='e.g. "250 Mbps"')
     model.set_defaults(func=_cmd_model)
+
+    bench = sub.add_parser(
+        "bench", help="end-to-end throughput benchmark (perf regression harness)"
+    )
+    bench.add_argument(
+        "--questions", type=int, default=120,
+        help="workload size (Zipf-repeated questions)",
+    )
+    bench.add_argument(
+        "--unique", type=int, default=60,
+        help="distinct questions the workload draws from",
+    )
+    bench.add_argument(
+        "--zipf", type=float, default=1.1,
+        help="Zipf popularity exponent of the question distribution",
+    )
+    bench.add_argument("--corpus-seed", type=int, default=42)
+    bench.add_argument("--seed", type=int, default=7, help="workload seed")
+    bench.add_argument(
+        "--cache", type=int, default=256,
+        help="conjunction-cache capacity of the optimized run",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_throughput.json",
+        help="where to write the JSON summary",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     exp = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

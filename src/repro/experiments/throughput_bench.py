@@ -1,0 +1,235 @@
+"""End-to-end throughput benchmark — the perf-regression harness.
+
+Runs a Zipf-popular question workload through the *real* Q/A pipeline
+twice — once on the re-tokenize reference path (term index off, naive
+set-intersection retrieval, no conjunction cache) and once on the
+optimized hot path — and emits ``BENCH_throughput.json`` with
+questions/sec, per-module p50/p95 latency, and the index-build time, so
+every future PR has a perf trajectory to compare against.
+
+The two runs must be **bit-identical** in answers, paragraph ranks, and
+cost-accounting fields (``postings_scanned``/``doc_bytes_read`` surface in
+``QAResult.work``); any divergence is a correctness failure, reported in
+the summary and turned into a non-zero exit by the CLI.  Timing is never a
+failure condition — CI machines are noisy — only equivalence is.
+
+Run it with ``python -m repro bench`` (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import typing as t
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..corpus import CorpusConfig, generate_corpus, generate_questions
+from ..nlp.entities import EntityRecognizer
+from ..qa import QAPipeline, QAResult
+from ..retrieval import IndexedCorpus
+
+__all__ = [
+    "BenchConfig",
+    "run_throughput_bench",
+    "format_throughput",
+    "write_bench_json",
+]
+
+_MODULES = ("qp", "pr", "ps", "po", "ap")
+
+
+@dataclass(frozen=True, slots=True)
+class BenchConfig:
+    """Knobs of the throughput benchmark."""
+
+    #: Total questions in the workload (with Zipf-repeated populars).
+    n_questions: int = 120
+    #: Distinct questions the workload draws from.
+    n_unique: int = 60
+    #: Zipf popularity exponent of the question distribution.
+    zipf_exponent: float = 1.1
+    #: Corpus generation seed.
+    corpus_seed: int = 42
+    #: Workload sampling seed.
+    workload_seed: int = 7
+    #: Conjunction-cache capacity of the optimized run.
+    conjunction_cache: int = 256
+    #: Warm-up questions per run (excluded from timing).
+    warmup: int = 3
+
+
+def _percentile_ms(samples: t.Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``samples`` (seconds), in milliseconds."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx] * 1e3
+
+
+def _fingerprint(result: QAResult) -> tuple[t.Any, ...]:
+    """Everything that must match bit-for-bit across the two runs."""
+    return (
+        tuple(
+            (a.text, a.short, a.long, a.score, a.paragraph_key, a.entity_type.value)
+            for a in result.answers
+        ),
+        result.n_retrieved,
+        result.n_accepted,
+        result.paragraph_ranks,
+        tuple(sorted(result.work.items())),
+    )
+
+
+def _run_workload(
+    pipeline: QAPipeline,
+    workload: t.Sequence[tuple[int, str]],
+    warmup: int,
+) -> tuple[list[QAResult], dict[str, t.Any]]:
+    """Answer every workload question, collecting per-module latencies."""
+    for qid, text in workload[:warmup]:
+        pipeline.answer(text, qid=qid)
+    per_module: dict[str, list[float]] = {m: [] for m in _MODULES}
+    per_question: list[float] = []
+    results: list[QAResult] = []
+    t0 = time.perf_counter()
+    for qid, text in workload:
+        r = pipeline.answer(text, qid=qid)
+        results.append(r)
+        for m in _MODULES:
+            per_module[m].append(getattr(r.timings, m))
+        per_question.append(r.timings.total)
+    wall_s = time.perf_counter() - t0
+    stats = {
+        "wall_s": wall_s,
+        "questions_per_sec": len(workload) / wall_s if wall_s > 0 else 0.0,
+        "latency_ms": {
+            "p50": _percentile_ms(per_question, 0.50),
+            "p95": _percentile_ms(per_question, 0.95),
+        },
+        "modules": {
+            m: {
+                "total_s": sum(per_module[m]),
+                "p50_ms": _percentile_ms(per_module[m], 0.50),
+                "p95_ms": _percentile_ms(per_module[m], 0.95),
+            }
+            for m in _MODULES
+        },
+    }
+    return results, stats
+
+
+def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
+    """Run the baseline-vs-optimized throughput comparison."""
+    config = config or BenchConfig()
+    corpus = generate_corpus(CorpusConfig(seed=config.corpus_seed))
+    t0 = time.perf_counter()
+    indexed = IndexedCorpus(corpus, conjunction_cache=config.conjunction_cache)
+    index_build_s = time.perf_counter() - t0
+    recognizer = EntityRecognizer(
+        corpus.knowledge.gazetteer(),
+        extra_nationalities=corpus.knowledge.nationalities,
+    )
+
+    # Zipf-popular workload: rank r drawn with probability ∝ 1/r^s, so a
+    # handful of popular questions repeat — the regime the conjunction
+    # cache targets (and what production question streams look like).
+    questions = generate_questions(corpus)
+    unique = questions[: max(1, min(config.n_unique, len(questions)))]
+    rng = np.random.default_rng(config.workload_seed)
+    weights = 1.0 / np.arange(1, len(unique) + 1) ** config.zipf_exponent
+    weights /= weights.sum()
+    picks = rng.choice(len(unique), size=config.n_questions, p=weights)
+    workload = [(unique[i].qid, unique[i].text) for i in picks]
+
+    baseline_pipeline = QAPipeline(
+        indexed.reconfigured(conjunction_cache=0, galloping=False),
+        recognizer,
+        use_term_index=False,
+    )
+    optimized_pipeline = QAPipeline(indexed, recognizer, use_term_index=True)
+
+    base_results, base_stats = _run_workload(
+        baseline_pipeline, workload, config.warmup
+    )
+    opt_results, opt_stats = _run_workload(
+        optimized_pipeline, workload, config.warmup
+    )
+    opt_stats["conjunction_cache"] = [
+        r.cache_stats for r in optimized_pipeline.indexed.retrievers
+    ]
+
+    mismatches = [
+        i
+        for i, (a, b) in enumerate(zip(base_results, opt_results))
+        if _fingerprint(a) != _fingerprint(b)
+    ]
+    stats = indexed.total_stats()
+    return {
+        "schema": "bench_throughput/v1",
+        "config": asdict(config),
+        "index": {"build_s": index_build_s, **stats},
+        "workload": {
+            "n_questions": len(workload),
+            "n_unique": len(unique),
+            "zipf_exponent": config.zipf_exponent,
+        },
+        "baseline": base_stats,
+        "optimized": opt_stats,
+        "speedup": (
+            base_stats["wall_s"] / opt_stats["wall_s"]
+            if opt_stats["wall_s"] > 0
+            else float("inf")
+        ),
+        "equivalence": {
+            "equivalent": not mismatches,
+            "n_checked": len(workload),
+            "mismatches": mismatches[:20],
+        },
+    }
+
+
+def format_throughput(summary: dict[str, t.Any]) -> str:
+    """Render the benchmark summary as an ASCII report section."""
+    lines = []
+    wl = summary["workload"]
+    lines.append("Throughput — precomputed term index vs re-tokenize baseline")
+    lines.append("=" * len(lines[0]))
+    lines.append(
+        f"workload: {wl['n_questions']} questions over {wl['n_unique']} unique"
+        f" (Zipf s={wl['zipf_exponent']}), index build"
+        f" {summary['index']['build_s']:.2f} s"
+    )
+    header = (
+        f"{'Run':<10} | {'q/s':>8} | {'p50 ms':>8} | {'p95 ms':>8} | "
+        f"{'PS ms p50':>9} | {'AP ms p50':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in ("baseline", "optimized"):
+        s = summary[name]
+        lines.append(
+            f"{name:<10} | {s['questions_per_sec']:>8.2f} |"
+            f" {s['latency_ms']['p50']:>8.2f} | {s['latency_ms']['p95']:>8.2f} |"
+            f" {s['modules']['ps']['p50_ms']:>9.3f} |"
+            f" {s['modules']['ap']['p50_ms']:>9.3f}"
+        )
+    eq = summary["equivalence"]
+    verdict = "identical" if eq["equivalent"] else f"MISMATCH x{len(eq['mismatches'])}"
+    lines.append(
+        f"speedup: {summary['speedup']:.2f}x end-to-end; outputs {verdict}"
+        f" over {eq['n_checked']} questions"
+    )
+    return "\n".join(lines)
+
+
+def write_bench_json(
+    summary: dict[str, t.Any], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write ``summary`` to ``path`` as pretty-printed JSON."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(summary, indent=2, sort_keys=False) + "\n")
+    return out

@@ -9,6 +9,7 @@ from .answer_types import HEAD_NOUN_TYPES, QuestionClassification, classify_ques
 from .entities import Entity, EntityRecognizer, EntityType, Gazetteer
 from .keywords import Keyword, select_keywords
 from .porter import stem
+from .stemming import SHARED_STEM_CACHE, StemCache, cached_stem
 from .stopwords import STOPWORDS, is_stopword
 from .tokenizer import Token, is_capitalized, is_number_token, sentences, tokenize
 
@@ -20,8 +21,11 @@ __all__ = [
     "HEAD_NOUN_TYPES",
     "Keyword",
     "QuestionClassification",
+    "SHARED_STEM_CACHE",
     "STOPWORDS",
+    "StemCache",
     "Token",
+    "cached_stem",
     "classify_question",
     "is_capitalized",
     "is_number_token",

@@ -150,7 +150,7 @@ class EntityRecognizer:
         }
 
     # -- public API -----------------------------------------------------------
-    def recognize(self, text: str, tokens: list[Token] | None = None) -> list[Entity]:
+    def recognize(self, text: str, tokens: t.Sequence[Token] | None = None) -> list[Entity]:
         """Find all entities in ``text`` (longest-match, left to right)."""
         if tokens is None:
             tokens = tokenize(text)
@@ -167,7 +167,7 @@ class EntityRecognizer:
         return entities
 
     def recognize_typed(
-        self, text: str, etype: EntityType, tokens: list[Token] | None = None
+        self, text: str, etype: EntityType, tokens: t.Sequence[Token] | None = None
     ) -> list[Entity]:
         """Entities of one type — what AP candidate detection needs.
 
@@ -187,7 +187,7 @@ class EntityRecognizer:
         return out
 
     # -- matching internals -------------------------------------------------------
-    def _match_at(self, text: str, tokens: list[Token], i: int) -> Entity | None:
+    def _match_at(self, text: str, tokens: t.Sequence[Token], i: int) -> Entity | None:
         tok = tokens[i]
 
         # 1. Gazetteer longest match.
@@ -265,7 +265,7 @@ class EntityRecognizer:
         return len(text) == 4 and text.isdigit() and text[0] in "12"
 
     @staticmethod
-    def _sentence_initial_common(tokens: list[Token], i: int) -> bool:
+    def _sentence_initial_common(tokens: t.Sequence[Token], i: int) -> bool:
         """A capitalized common word right after start/period is not a name."""
         from .stopwords import is_stopword
 
@@ -274,7 +274,7 @@ class EntityRecognizer:
 
     @staticmethod
     def _make(
-        text: str, tokens: list[Token], i: int, j: int, etype: EntityType
+        text: str, tokens: t.Sequence[Token], i: int, j: int, etype: EntityType
     ) -> Entity:
         start = tokens[i].start
         end = tokens[j - 1].end

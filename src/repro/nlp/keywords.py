@@ -21,7 +21,7 @@ import typing as t
 from dataclasses import dataclass, field
 
 from .entities import EntityRecognizer, EntityType
-from .porter import stem
+from .stemming import cached_stem as stem
 from .stopwords import is_stopword
 from .tokenizer import is_capitalized, tokenize
 

@@ -22,8 +22,9 @@ from __future__ import annotations
 import typing as t
 
 from ..nlp.entities import Entity, EntityRecognizer, EntityType
-from ..nlp.porter import stem
+from ..nlp.stemming import cached_stem as stem
 from ..nlp.tokenizer import Token, tokenize
+from .paragraph_scoring import TermLookup, keyword_positions_from_terms
 from .question import Answer, ProcessedQuestion, ScoredParagraph
 
 __all__ = ["AnswerProcessor", "merge_answers"]
@@ -46,13 +47,28 @@ _LONG_BYTES = 250
 
 
 class AnswerProcessor:
-    """The AP module."""
+    """The AP module.
 
-    def __init__(self, recognizer: EntityRecognizer, n_answers: int = 5) -> None:
+    With a ``term_lookup`` (the indexed corpus'
+    :meth:`~repro.retrieval.collection.IndexedCorpus.term_lookup`), the
+    paragraph's tokens, stemmed token sequence and keyword positions come
+    from the index's precomputed term layer instead of a per-question
+    tokenize + Porter-stem pass — AP is the CPU bottleneck (Table 3), so
+    this is the single hottest saving in the pipeline.  Unresolvable
+    paragraphs fall back to the re-tokenize reference path.
+    """
+
+    def __init__(
+        self,
+        recognizer: EntityRecognizer,
+        n_answers: int = 5,
+        term_lookup: TermLookup | None = None,
+    ) -> None:
         if n_answers < 1:
             raise ValueError("n_answers must be >= 1")
         self.recognizer = recognizer
         self.n_answers = n_answers
+        self.term_lookup = term_lookup
 
     # -- public API --------------------------------------------------------------
     def extract(
@@ -78,26 +94,36 @@ class AnswerProcessor:
         max_rank: float,
     ) -> list[Answer]:
         text = sp.paragraph.text
-        tokens = tokenize(text)
+        terms = self.term_lookup(sp.paragraph) if self.term_lookup else None
+        tokens: t.Sequence[Token]
+        if terms is not None:
+            tokens = terms.tokens
+        else:
+            tokens = tokenize(text)
         candidates = self._candidates(processed, text, tokens)
         if not candidates:
             return []
 
         # Token positions of each keyword (stem match, phrases in order).
         kstems = [kw.stems for kw in processed.keywords]
-        stems_at = [stem(tok.text) if tok.is_word else tok.text for tok in tokens]
-        kw_positions: list[list[int]] = []
-        for ks in kstems:
-            pos = [
-                i
-                for i in range(len(stems_at))
-                if stems_at[i] == ks[0]
-                and (
-                    len(ks) == 1
-                    or tuple(stems_at[i : i + len(ks)]) == tuple(ks)
-                )
+        if terms is not None:
+            kw_positions = keyword_positions_from_terms(terms, kstems)
+        else:
+            stems_at = [
+                stem(tok.text) if tok.is_word else tok.text for tok in tokens
             ]
-            kw_positions.append(pos)
+            kw_positions = []
+            for ks in kstems:
+                pos = [
+                    i
+                    for i in range(len(stems_at))
+                    if stems_at[i] == ks[0]
+                    and (
+                        len(ks) == 1
+                        or tuple(stems_at[i : i + len(ks)]) == tuple(ks)
+                    )
+                ]
+                kw_positions.append(pos)
         n_keywords = len(kstems) or 1
         present_keywords = sum(1 for p in kw_positions if p)
 
@@ -125,7 +151,7 @@ class AnswerProcessor:
         self,
         processed: ProcessedQuestion,
         text: str,
-        tokens: list[Token],
+        tokens: t.Sequence[Token],
     ) -> list[Entity]:
         """Typed entities matching the expected answer type.
 
@@ -155,7 +181,7 @@ class AnswerProcessor:
     def _score_window(
         self,
         cand: Entity,
-        tokens: list[Token],
+        tokens: t.Sequence[Token],
         kw_positions: list[list[int]],
         present_keywords: int,
         n_keywords: int,

@@ -15,19 +15,36 @@ distance" (Section 2.1, citing the LASSO heuristics [27]):
 PS is iterative at paragraph granularity (Table 2) and cheap (~2 % of task
 time), but it is partitioned together with PR in the distributed design
 (Fig 3 places PS replicas behind each PR replica).
+
+When constructed with a ``term_lookup`` (the indexed corpus'
+:meth:`~repro.retrieval.collection.IndexedCorpus.term_lookup`), keyword
+positions come from the index's precomputed
+:class:`~repro.retrieval.inverted_index.ParagraphTerms` — a dictionary
+lookup per keyword — instead of re-tokenizing and re-stemming the
+paragraph text for every question.  Both paths produce byte-identical
+scores (enforced by tests/qa/test_scoring_equivalence.py).
 """
 
 from __future__ import annotations
 
 import typing as t
 
-from ..nlp.porter import stem
+from ..nlp.stemming import cached_stem as stem
 from ..nlp.stopwords import is_stopword
 from ..nlp.tokenizer import tokenize
+from ..retrieval.inverted_index import ParagraphTerms
 from ..retrieval.paragraphs import Paragraph
 from .question import ProcessedQuestion, ScoredParagraph
 
-__all__ = ["ParagraphScorer", "keyword_positions"]
+__all__ = [
+    "ParagraphScorer",
+    "TermLookup",
+    "keyword_positions",
+    "keyword_positions_from_terms",
+]
+
+#: Resolver from a paragraph to its precomputed term view (None = absent).
+TermLookup = t.Callable[[Paragraph], t.Optional[ParagraphTerms]]
 
 # Heuristic combination weights (same spirit as LASSO's empirical weights).
 _W_SEQUENCE = 20.0
@@ -38,7 +55,7 @@ _W_PRESENT = 50.0
 def keyword_positions(
     text: str, keyword_stems: t.Sequence[tuple[str, ...]]
 ) -> tuple[list[list[int]], list[str]]:
-    """Token positions of each keyword in ``text``.
+    """Token positions of each keyword in ``text`` (reference path).
 
     Returns ``(positions, stems_at)`` where ``positions[k]`` lists token
     indices where keyword ``k`` (matched by its first stem — phrase
@@ -65,8 +82,49 @@ def keyword_positions(
     return positions, stems_at
 
 
+def keyword_positions_from_terms(
+    terms: ParagraphTerms, keyword_stems: t.Sequence[tuple[str, ...]]
+) -> list[list[int]]:
+    """Token positions of each keyword via the precomputed term map.
+
+    Head-stem occurrences are a dictionary lookup; phrase keywords verify
+    their remaining stems in order at each candidate position.  Produces
+    exactly the positions :func:`keyword_positions` derives from raw text.
+    """
+    stems_at = terms.stems_at
+    n = len(stems_at)
+    positions: list[list[int]] = []
+    for kstems in keyword_stems:
+        candidates = terms.positions_of(kstems[0])
+        if len(kstems) == 1:
+            positions.append(list(candidates))
+            continue
+        klen = len(kstems)
+        kst = tuple(kstems)
+        positions.append(
+            [
+                i
+                for i in candidates
+                if i + klen <= n and stems_at[i : i + klen] == kst
+            ]
+        )
+    return positions
+
+
 class ParagraphScorer:
-    """The PS module."""
+    """The PS module.
+
+    Parameters
+    ----------
+    term_lookup:
+        Optional resolver returning the precomputed term view of a
+        paragraph.  Paragraphs it cannot resolve (``None``) fall back to
+        the re-tokenize reference path, so scorers work on paragraphs
+        from outside the indexed corpus too.
+    """
+
+    def __init__(self, term_lookup: TermLookup | None = None) -> None:
+        self.term_lookup = term_lookup
 
     def score(
         self, processed: ProcessedQuestion, paragraphs: t.Sequence[Paragraph]
@@ -78,7 +136,11 @@ class ParagraphScorer:
     def score_one(
         self, paragraph: Paragraph, kstems: t.Sequence[tuple[str, ...]]
     ) -> ScoredParagraph:
-        positions, _ = keyword_positions(paragraph.text, kstems)
+        terms = self.term_lookup(paragraph) if self.term_lookup else None
+        if terms is not None:
+            positions = keyword_positions_from_terms(terms, kstems)
+        else:
+            positions, _ = keyword_positions(paragraph.text, kstems)
         present = [k for k, pos in enumerate(positions) if pos]
         n_present = len(present)
         if n_present == 0:

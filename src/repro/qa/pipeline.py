@@ -37,6 +37,10 @@ class QAPipeline:
         Answers returned per question (the paper's ``n_a``).
     threshold_fraction / max_accepted:
         PO acceptance policy.
+    use_term_index:
+        Route PS and AP through the index's precomputed paragraph term
+        layer (the fast path).  ``False`` forces the re-tokenize reference
+        path — used by the perf-regression harness as its baseline.
     """
 
     def __init__(
@@ -46,14 +50,19 @@ class QAPipeline:
         n_answers: int = 5,
         threshold_fraction: float = 0.25,
         max_accepted: int = 600,
+        use_term_index: bool = True,
     ) -> None:
         self.indexed = indexed
         self.recognizer = recognizer
+        self.use_term_index = use_term_index
+        term_lookup = indexed.term_lookup if use_term_index else None
         self.qp = QuestionProcessor(recognizer)
         self.pr = ParagraphRetriever(indexed)
-        self.ps = ParagraphScorer()
+        self.ps = ParagraphScorer(term_lookup=term_lookup)
         self.po = ParagraphOrderer(threshold_fraction, max_accepted)
-        self.ap = AnswerProcessor(recognizer, n_answers=n_answers)
+        self.ap = AnswerProcessor(
+            recognizer, n_answers=n_answers, term_lookup=term_lookup
+        )
 
     def answer(self, question: Question | str, qid: int = 0) -> QAResult:
         """Answer one question, timing each module."""
@@ -98,6 +107,7 @@ class QAPipeline:
             n_accepted=len(accepted),
             timings=timings,
             work=work,
+            paragraph_ranks=tuple(sp.paragraph.key for sp in accepted),
         )
 
     # Expose module objects for partitioned (distributed) execution.

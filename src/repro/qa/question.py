@@ -116,6 +116,9 @@ class QAResult:
     timings: ModuleTimings = field(default_factory=ModuleTimings)
     #: Work counters for the simulation cost model.
     work: dict[str, float] = field(default_factory=dict)
+    #: Accepted paragraph keys in PO rank order (equivalence fingerprint
+    #: for the perf-regression harness).
+    paragraph_ranks: tuple[tuple[int, int], ...] = ()
 
     @property
     def best(self) -> Answer | None:

@@ -2,7 +2,7 @@
 
 from .boolean import BooleanRetriever, RetrievalResult
 from .collection import IndexedCorpus
-from .inverted_index import CollectionIndex, IndexStats, StemCache
+from .inverted_index import CollectionIndex, IndexStats, ParagraphTerms, StemCache
 from .paragraphs import Paragraph, split_paragraphs
 from .prediction import QueryCostEstimate, predict_pr_cost, predict_pr_cost_corpus
 
@@ -15,6 +15,7 @@ __all__ = [
     "IndexStats",
     "IndexedCorpus",
     "Paragraph",
+    "ParagraphTerms",
     "RetrievalResult",
     "StemCache",
     "split_paragraphs",

@@ -5,6 +5,12 @@ the TREC-9 collection ... divided into 8 sub-collections, separately
 indexed", Section 6) and offers corpus-level retrieval that iterates over
 sub-collections — the iterative structure (granularity: Collection, Table
 2) that both intra-question partitioning strategies exploit.
+
+Indexing stems through the process-wide shared cache by default
+(:data:`repro.nlp.stemming.SHARED_STEM_CACHE`), so building several
+corpora — common in experiments and tests — reuses stems across
+collections *and* across corpora instead of re-deriving them per
+``IndexedCorpus``.
 """
 
 from __future__ import annotations
@@ -13,31 +19,86 @@ import typing as t
 
 from ..corpus.generator import Corpus
 from ..nlp.keywords import Keyword
+from ..nlp.stemming import SHARED_STEM_CACHE, StemCache
 from .boolean import BooleanRetriever, RetrievalResult
-from .inverted_index import CollectionIndex, StemCache
+from .inverted_index import CollectionIndex, ParagraphTerms
+from .paragraphs import Paragraph
 
 __all__ = ["IndexedCorpus"]
 
 
 class IndexedCorpus:
-    """All sub-collection indexes of a corpus, with uniform retrieval."""
+    """All sub-collection indexes of a corpus, with uniform retrieval.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus to index.
+    min_docs / paragraph_quorum:
+        Relaxation floor and paragraph-extraction quorum, passed to every
+        :class:`BooleanRetriever`.
+    stemmer:
+        Stem cache shared by all sub-collection indexes (defaults to the
+        process-wide shared cache).
+    conjunction_cache / galloping:
+        Retriever hot-path knobs (see :class:`BooleanRetriever`).  The
+        perf-regression harness sets ``conjunction_cache=0,
+        galloping=False`` for its reference baseline.
+    indexes:
+        Pre-built sub-collection indexes to adopt instead of indexing
+        ``corpus`` again — used by :meth:`reconfigured` so baseline and
+        optimized retriever stacks can share one (expensive) index build.
+    """
 
     def __init__(
         self,
         corpus: Corpus,
         min_docs: int = 3,
         paragraph_quorum: float = 0.5,
+        stemmer: StemCache | None = None,
+        conjunction_cache: int = 256,
+        galloping: bool = True,
+        indexes: list[CollectionIndex] | None = None,
     ) -> None:
         self.corpus = corpus
-        stemmer = StemCache()
-        self.indexes: list[CollectionIndex] = [
-            CollectionIndex(coll, stemmer=stemmer)
-            for coll in corpus.collections
-        ]
+        self.min_docs = min_docs
+        self.paragraph_quorum = paragraph_quorum
+        stemmer = stemmer or SHARED_STEM_CACHE
+        self.indexes: list[CollectionIndex] = (
+            indexes
+            if indexes is not None
+            else [
+                CollectionIndex(coll, stemmer=stemmer)
+                for coll in corpus.collections
+            ]
+        )
         self.retrievers: list[BooleanRetriever] = [
-            BooleanRetriever(ix, min_docs=min_docs, paragraph_quorum=paragraph_quorum)
+            BooleanRetriever(
+                ix,
+                min_docs=min_docs,
+                paragraph_quorum=paragraph_quorum,
+                conjunction_cache=conjunction_cache,
+                galloping=galloping,
+            )
             for ix in self.indexes
         ]
+
+    def reconfigured(
+        self, conjunction_cache: int = 256, galloping: bool = True
+    ) -> IndexedCorpus:
+        """A retriever stack with different hot-path knobs, same indexes.
+
+        Shares the already-built :class:`CollectionIndex` objects, so this
+        is cheap — only the retrievers (and their caches) are new.
+        """
+        return IndexedCorpus(
+            self.corpus,
+            min_docs=self.min_docs,
+            paragraph_quorum=self.paragraph_quorum,
+            conjunction_cache=conjunction_cache,
+            galloping=galloping,
+            indexes=self.indexes,
+        )
 
     @property
     def n_collections(self) -> int:
@@ -57,6 +118,12 @@ class IndexedCorpus:
             self.retrieve_collection(cid, keywords)
             for cid in range(self.n_collections)
         ]
+
+    def term_lookup(self, paragraph: Paragraph) -> ParagraphTerms | None:
+        """Precomputed term view of ``paragraph`` (the PS/AP fast path)."""
+        return self.indexes[paragraph.collection_id].paragraph_terms(
+            paragraph.key
+        )
 
     def document_frequency(self, stem: str) -> int:
         """Corpus-wide document frequency of a stem."""

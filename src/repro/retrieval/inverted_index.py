@@ -7,6 +7,17 @@ equivalent: document-level postings with term frequencies, plus
 paragraph-level stem sets for the paragraph-extraction post-processing
 phase.
 
+Beyond the postings, the index materializes a **paragraph term layer**
+(:class:`ParagraphTerms`): each paragraph's token array, stemmed token
+sequence, and a ``{stem: token positions}`` map, all computed once at
+index-build time.  Downstream, paragraph scoring (PS) and answer
+processing (AP) consult this layer instead of re-tokenizing and
+re-stemming paragraph text per question — tokenization/stemming of a
+paragraph happens once per corpus, not once per question per paragraph.
+This mirrors the precomputed per-document structures that distributed
+search engines use to keep per-query work sub-linear (cs/0407053,
+arXiv:1006.5059).
+
 The index also exposes the *cost accounting* hooks the simulation's PR
 cost model consumes: posting-list sizes and candidate-document byte counts
 (paragraph retrieval is 80 % disk time — Table 3 — so bytes touched is the
@@ -19,34 +30,38 @@ import typing as t
 from dataclasses import dataclass
 
 from ..corpus.generator import Document, SubCollection
-from ..nlp.porter import stem
+from ..nlp.stemming import SHARED_STEM_CACHE, StemCache
 from ..nlp.stopwords import is_stopword
-from ..nlp.tokenizer import tokenize
+from ..nlp.tokenizer import Token, tokenize
 from .paragraphs import Paragraph, split_paragraphs
 
-__all__ = ["CollectionIndex", "StemCache", "IndexStats"]
+__all__ = ["CollectionIndex", "StemCache", "IndexStats", "ParagraphTerms"]
 
 
-class StemCache:
-    """Memoized Porter stemming — the vocabulary is small and reused."""
-
-    def __init__(self) -> None:
-        self._cache: dict[str, str] = {}
-
-    def __call__(self, word: str) -> str:
-        key = word.lower()
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = stem(key)
-            self._cache[key] = cached
-        return cached
-
-    def __len__(self) -> int:
-        return len(self._cache)
+#: Shared process-wide stem cache (stemming is pure).  Kept under its
+#: historical name for backward compatibility; the canonical home is
+#: :data:`repro.nlp.stemming.SHARED_STEM_CACHE`.
+_GLOBAL_STEMS = SHARED_STEM_CACHE
 
 
-#: Shared process-wide stem cache (stemming is pure).
-_GLOBAL_STEMS = StemCache()
+@dataclass(frozen=True, slots=True)
+class ParagraphTerms:
+    """Precomputed term view of one paragraph (the PS/AP fast path).
+
+    ``stems_at[i]`` is the Porter stem of token ``i`` for word tokens and
+    the raw surface form otherwise — exactly the sequence the naive
+    re-tokenize path computes.  ``positions`` maps every distinct entry of
+    ``stems_at`` to its (sorted) token positions, so locating a keyword's
+    occurrences is a dictionary lookup instead of a scan.
+    """
+
+    tokens: tuple[Token, ...]
+    stems_at: tuple[str, ...]
+    positions: dict[str, tuple[int, ...]]
+
+    def positions_of(self, stem_: str) -> tuple[int, ...]:
+        """Token positions whose stem equals ``stem_`` (empty if absent)."""
+        return self.positions.get(stem_, ())
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,11 +91,16 @@ class CollectionIndex:
         self._stem = stemmer or _GLOBAL_STEMS
         #: stem -> {doc_id: term frequency}
         self._postings: dict[str, dict[int, int]] = {}
+        #: stem -> sorted doc_id array (for galloping intersection).
+        self._sorted_postings: dict[str, list[int]] = {}
         self._documents: dict[int, Document] = {}
         #: doc_id -> list of (paragraph, frozenset of stems)
         self._doc_paragraphs: dict[int, list[tuple[Paragraph, frozenset[str]]]] = {}
+        #: (doc_id, paragraph index) -> precomputed term view.
+        self._paragraph_terms: dict[tuple[int, int], ParagraphTerms] = {}
         n_paragraphs = 0
         text_bytes = 0
+        stem_fn = self._stem
         for doc in collection.documents:
             self._documents[doc.doc_id] = doc
             text_bytes += doc.size_bytes
@@ -89,19 +109,33 @@ class CollectionIndex:
             entries: list[tuple[Paragraph, frozenset[str]]] = []
             doc_counts: dict[str, int] = {}
             for para in paragraphs:
+                tokens = tuple(tokenize(para.text))
+                stems_at = tuple(
+                    stem_fn(tok.text) if tok.is_word else tok.text
+                    for tok in tokens
+                )
+                pos_lists: dict[str, list[int]] = {}
                 stems: set[str] = set()
-                for tok in tokenize(para.text):
+                for i, tok in enumerate(tokens):
+                    s = stems_at[i]
+                    pos_lists.setdefault(s, []).append(i)
                     if not tok.is_word and not tok.text[0].isdigit():
                         continue
                     if is_stopword(tok.text):
                         continue
-                    s = self._stem(tok.text)
                     stems.add(s)
                     doc_counts[s] = doc_counts.get(s, 0) + 1
+                self._paragraph_terms[para.key] = ParagraphTerms(
+                    tokens=tokens,
+                    stems_at=stems_at,
+                    positions={s: tuple(p) for s, p in pos_lists.items()},
+                )
                 entries.append((para, frozenset(stems)))
             self._doc_paragraphs[doc.doc_id] = entries
             for s, tf in doc_counts.items():
                 self._postings.setdefault(s, {})[doc.doc_id] = tf
+        for s, plist in self._postings.items():
+            self._sorted_postings[s] = sorted(plist)
         self.stats = IndexStats(
             n_documents=len(self._documents),
             n_paragraphs=n_paragraphs,
@@ -118,6 +152,13 @@ class CollectionIndex:
         """doc_id -> tf mapping for ``stem_`` (empty dict if absent)."""
         return self._postings.get(stem_, {})
 
+    def sorted_postings(self, stem_: str) -> list[int]:
+        """Sorted doc_id array for ``stem_`` (empty list if absent).
+
+        Callers must not mutate the returned list.
+        """
+        return self._sorted_postings.get(stem_, [])
+
     def posting_bytes(self, stem_: str) -> int:
         """Approximate bytes read to scan this stem's posting list."""
         return 8 * self.document_frequency(stem_)
@@ -131,6 +172,10 @@ class CollectionIndex:
     def paragraphs_of(self, doc_id: int) -> list[tuple[Paragraph, frozenset[str]]]:
         """Paragraphs of a document with their stem sets."""
         return self._doc_paragraphs[doc_id]
+
+    def paragraph_terms(self, key: tuple[int, int]) -> ParagraphTerms | None:
+        """Precomputed term view for paragraph ``key`` (``(doc_id, index)``)."""
+        return self._paragraph_terms.get(key)
 
     @property
     def doc_ids(self) -> t.KeysView[int]:
