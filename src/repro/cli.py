@@ -11,6 +11,10 @@ bench       end-to-end throughput benchmark (baseline vs optimized hot
             output-equivalence mismatch
 experiments regenerate any of the paper's tables/figures (see
             ``python -m repro.experiments.runner``)
+observe     traced SEND/ISEND/RECV workload with span export (Chrome
+            trace + JSONL) and overhead attribution vs the Section 5
+            model; fails if any export or the attribution sum invariant
+            is invalid
 """
 
 from __future__ import annotations
@@ -160,6 +164,23 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_observe(args: argparse.Namespace) -> None:
+    from .observability import ObserveConfig, format_observe, run_observe
+
+    config = ObserveConfig(
+        n_nodes=args.nodes,
+        questions_per_node=args.questions_per_node,
+        strategies=tuple(args.strategies),
+        seed=args.seed,
+        dispatch_scan_cpu_s=args.dispatch_cost,
+        output_dir=args.output_dir,
+    )
+    summary = run_observe(config)
+    print(format_observe(summary))
+    if not summary["ok"]:
+        raise SystemExit("observe FAILED: export or attribution check failed")
+
+
 def _cmd_experiments(args: argparse.Namespace) -> None:
     from .experiments.runner import run_all
 
@@ -248,6 +269,32 @@ def main(argv: t.Sequence[str] | None = None) -> None:
         help="where to write the JSON summary",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    observe = sub.add_parser(
+        "observe",
+        help="traced workload with span export and overhead attribution",
+    )
+    observe.add_argument("--nodes", type=int, default=16)
+    observe.add_argument(
+        "--questions-per-node", type=int, default=2,
+        help="questions per node per strategy run",
+    )
+    observe.add_argument(
+        "--strategies", nargs="*", choices=["SEND", "ISEND", "RECV"],
+        default=["SEND", "ISEND", "RECV"],
+        help="AP partitioning strategies to trace (PR always uses RECV)",
+    )
+    observe.add_argument("--seed", type=int, default=11)
+    observe.add_argument(
+        "--dispatch-cost", type=float, default=1e-5,
+        help="Eq 15 per-node dispatch scan cost in CPU seconds "
+        "(0 = the paper-faithful instantaneous dispatch)",
+    )
+    observe.add_argument(
+        "--output-dir", default="observe_out",
+        help="directory for trace_*.json, spans_*.jsonl, attribution.json",
+    )
+    observe.set_defaults(func=_cmd_observe)
 
     exp = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

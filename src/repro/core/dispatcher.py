@@ -20,6 +20,12 @@ from __future__ import annotations
 import typing as t
 from dataclasses import replace
 
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import (
+    DISPATCH_DECISIONS,
+    QA_MIGRATION_FAILURES,
+    QA_MIGRATIONS,
+)
 from .load import QA_WEIGHTS, LoadSnapshot, load_function, single_task_load
 from .monitor import MonitoringSystem
 
@@ -37,8 +43,12 @@ class QuestionDispatcher:
         backoff_base_s: float = 0.05,
         backoff_factor: float = 2.0,
         backoff_max_s: float = 5.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.monitoring = monitoring
+        #: Optional registry mirroring the decision counters under the
+        #: canonical ``dispatch.*`` metric names.
+        self.metrics = metrics
         #: The "average workload of a single question" in load-function
         #: units; defaults to the load a lone average Q/A task produces.
         self.migration_threshold = (
@@ -75,6 +85,12 @@ class QuestionDispatcher:
         measured = load_function(QA_WEIGHTS, snap)
         return commitment + 0.01 * measured
 
+    def note_migration_failure(self) -> None:
+        """Count one failed migration hand-off (target died mid-transfer)."""
+        self.migration_failures += 1
+        if self.metrics is not None:
+            self.metrics.inc(QA_MIGRATION_FAILURES)
+
     def backoff_delay(self, attempt: int) -> float:
         """Backoff before retrying after a failed migration ``attempt``."""
         if self.backoff_base_s <= 0:
@@ -94,6 +110,8 @@ class QuestionDispatcher:
         dead (the retry loop's memory within one dispatch).
         """
         self.decisions += 1
+        if self.metrics is not None:
+            self.metrics.inc(DISPATCH_DECISIONS)
         table = self.monitoring.view(host_id)
         host_snap = table.get(host_id)
         if host_snap is None:  # pragma: no cover - host always sees itself
@@ -109,6 +127,8 @@ class QuestionDispatcher:
         if loads[host_id] - loads[best] <= self.migration_threshold:
             return host_id
         self.migrations += 1
+        if self.metrics is not None:
+            self.metrics.inc(QA_MIGRATIONS)
         self._note_assignment(host_id, best)
         return best
 

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import DNS_ASSIGNMENTS
+
 __all__ = ["DNSFrontend"]
 
 
@@ -33,13 +36,20 @@ class DNSFrontend:
         round-robin initial question distribution".
     """
 
-    def __init__(self, n_nodes: int, cache_skew: float = 0.0, seed: int = 0) -> None:
+    def __init__(
+        self,
+        n_nodes: int,
+        cache_skew: float = 0.0,
+        seed: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
         if not 0.0 <= cache_skew < 1.0:
             raise ValueError("cache_skew must be in [0, 1)")
         self.n_nodes = n_nodes
         self.cache_skew = cache_skew
+        self.metrics = metrics
         self._rng = np.random.default_rng(seed)
         self._next = 0
         self._last = 0
@@ -54,4 +64,6 @@ class DNSFrontend:
             self._next = (self._next + 1) % self.n_nodes
         self._last = node
         self.assignments.append(node)
+        if self.metrics is not None:
+            self.metrics.inc(DNS_ASSIGNMENTS)
         return node

@@ -27,6 +27,11 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass
 
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import (
+    DISPATCH_FORCED_SINGLE,
+    DISPATCH_PARTITION_WIDTH,
+)
 from .load import LoadSnapshot, ResourceWeights, is_underloaded, load_function
 
 __all__ = ["Assignment", "meta_schedule"]
@@ -61,6 +66,7 @@ def meta_schedule(
     include: int | None = None,
     stay_on: int | None = None,
     stay_threshold: float = 0.0,
+    registry: MetricsRegistry | None = None,
 ) -> Assignment:
     """Run the Figure 4 algorithm against a load table.
 
@@ -85,9 +91,22 @@ def meta_schedule(
         dispatcher's rule (Section 3.1) to the embedded dispatchers: when
         step 2 would move the module off ``stay_on`` but the load
         difference does not exceed ``stay_threshold``, stay put.
+    registry:
+        Optional metrics registry recording each decision's outcome
+        (forced-single count, partition-width histogram) under the
+        canonical ``scheduler.*`` names.
     """
     if not table:
         raise ValueError("empty load table: no live processors")
+
+    def recorded(assignment: Assignment) -> Assignment:
+        if registry is not None:
+            if assignment.forced_single:
+                registry.inc(DISPATCH_FORCED_SINGLE)
+            registry.observe(
+                DISPATCH_PARTITION_WIDTH, float(len(assignment.shares))
+            )
+        return assignment
 
     loads = {nid: load_function(weights, snap) for nid, snap in table.items()}
 
@@ -124,7 +143,9 @@ def meta_schedule(
         selected = ordered[:max_parts]
 
     if len(selected) == 1:
-        return Assignment(shares=((selected[0], 1.0),), forced_single=forced_single)
+        return recorded(
+            Assignment(shares=((selected[0], 1.0),), forced_single=forced_single)
+        )
 
     # Steps 3-4: availability-proportional weights.  Availability is
     # measured against the capacity one sub-task of this module would use
@@ -140,4 +161,4 @@ def meta_schedule(
     shares = tuple(
         (nid, raw[nid] / total) for nid in sorted(selected, key=lambda n: (loads[n], n))
     )
-    return Assignment(shares=shares, forced_single=forced_single)
+    return recorded(Assignment(shares=shares, forced_single=forced_single))

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import typing as t
 
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import MONITOR_BROADCASTS, MONITOR_BUSY_S
 from ..simulation.engine import Environment
 from ..simulation.events import Event
 from ..simulation.network import Network
@@ -38,12 +40,14 @@ class LoadMonitor:
         interval_s: float = 1.0,
         packet_bytes: float = 512.0,
         measure_cpu_s: float = 0.001,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.system = system
         self.node = node
         self.interval_s = interval_s
         self.packet_bytes = packet_bytes
         self.measure_cpu_s = measure_cpu_s
+        self.metrics = metrics
         self.broadcasts = 0
         self._proc = node.env.process(
             self._run(), name=f"load-monitor[{node.node_id}]"
@@ -56,6 +60,7 @@ class LoadMonitor:
             yield env.timeout(self.interval_s)
             if not self.node.up:
                 continue
+            round_start = env.now
             # (i) inspect the kernel for the local load.  The report
             # blends the window average with the instantaneous state so
             # that a node that just went idle (or just got busy) is not
@@ -80,6 +85,12 @@ class LoadMonitor:
             # (iii) peers store the received load information
             self.system.deliver(snapshot)
             self.broadcasts += 1
+            if self.metrics is not None:
+                # Busy time = measurement CPU + broadcast elapsed; this
+                # is the measured counterpart of Eq 14's per-interval
+                # ``t_load + N·S_load/B_net`` monitoring cost.
+                self.metrics.inc(MONITOR_BROADCASTS)
+                self.metrics.inc(MONITOR_BUSY_S, env.now - round_start)
 
 
 class MonitoringSystem:
@@ -93,6 +104,7 @@ class MonitoringSystem:
         interval_s: float = 1.0,
         packet_bytes: float = 512.0,
         membership_timeout_s: float = 3.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -103,7 +115,13 @@ class MonitoringSystem:
             n.node_id: {} for n in nodes
         }
         self.monitors = [
-            LoadMonitor(self, n, interval_s=interval_s, packet_bytes=packet_bytes)
+            LoadMonitor(
+                self,
+                n,
+                interval_s=interval_s,
+                packet_bytes=packet_bytes,
+                metrics=metrics,
+            )
             for n in nodes
         ]
         #: Last heartbeat seen from each node (any observer).

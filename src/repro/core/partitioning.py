@@ -28,6 +28,9 @@ import enum
 import typing as t
 from dataclasses import dataclass
 
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import PARTITION_RETRY_ROUNDS
+from ..observability.spans import Span, SpanCategory, SpanStream
 from ..simulation.engine import Environment, Process
 from ..simulation.events import Event
 
@@ -226,6 +229,10 @@ def run_sender_controlled(
     executor: Executor,
     interleaved: bool,
     policy: RetryPolicy | None = None,
+    spans: SpanStream | None = None,
+    span_parent: Span | None = None,
+    qid: int = -1,
+    metrics: MetricsRegistry | None = None,
 ) -> t.Generator[Event, object, list[object]]:
     """Fig 5(c): the sender-controlled distribution loop (SEND/ISEND).
 
@@ -234,6 +241,10 @@ def run_sender_controlled(
     processor), collects failures, rebuilds a task from unprocessed
     partitions and repeats until everything is processed.  ``policy``
     bounds the recovery rounds and inserts backoff between them.
+
+    ``spans``/``span_parent``/``qid`` attach a retry span (covering each
+    recovery round's backoff) to the caller's span tree; ``metrics``
+    counts rounds under the canonical ``partition.retry_rounds`` name.
 
     Returns the list of per-partition results in completion order.
     """
@@ -280,14 +291,29 @@ def run_sender_controlled(
             live_shares = [(nid, w / total) for nid, w in live_shares]
         if failed_nodes and pending:
             rounds += 1
+            if metrics is not None:
+                metrics.inc(PARTITION_RETRY_ROUNDS)
             if policy.exhausted(rounds):
                 raise PartitionAbort(
                     f"retry budget exhausted after {rounds - 1} recovery "
                     f"rounds; {len(pending)} items unprocessed"
                 )
+            rspan = None
+            if spans is not None:
+                rspan = spans.begin(
+                    "retry:round",
+                    SpanCategory.RETRY,
+                    qid,
+                    span_parent.node_id if span_parent is not None else -1,
+                    env.now,
+                    parent=span_parent,
+                    detail=f"round {rounds}, {len(pending)} items",
+                )
             delay = policy.delay(rounds - 1)
             if delay > 0:
                 yield env.timeout(delay)
+            if spans is not None:
+                spans.end(rspan, env.now, round=rounds, items=len(pending))
     return results
 
 
@@ -298,6 +324,10 @@ def run_receiver_controlled(
     executor: Executor,
     chunk_size: int,
     policy: RetryPolicy | None = None,
+    spans: SpanStream | None = None,
+    span_parent: Span | None = None,
+    qid: int = -1,
+    metrics: MetricsRegistry | None = None,
 ) -> t.Generator[Event, object, list[object]]:
     """Fig 6(b): the receiver-controlled distribution loop (RECV).
 
@@ -307,6 +337,10 @@ def run_receiver_controlled(
     the worker pool.  ``policy`` bounds the re-pull rounds (spawned when
     a worker fails after its peers already drained the visible chunk set)
     and inserts backoff before each one.
+
+    ``spans``/``span_parent``/``qid`` attach re-pull retry spans to the
+    caller's span tree; ``metrics`` counts the rounds under the
+    canonical ``partition.retry_rounds`` name.
 
     Returns per-chunk results in completion order.
     """
@@ -337,14 +371,29 @@ def run_receiver_controlled(
         if not pool:
             raise PartitionAbort("all workers failed; unprocessed chunks remain")
         if rounds > 0:
+            if metrics is not None:
+                metrics.inc(PARTITION_RETRY_ROUNDS)
             if policy.exhausted(rounds):
                 raise PartitionAbort(
                     f"retry budget exhausted after {rounds - 1} re-pull "
                     f"rounds; {len(available)} chunks unprocessed"
                 )
+            rspan = None
+            if spans is not None:
+                rspan = spans.begin(
+                    "retry:round",
+                    SpanCategory.RETRY,
+                    qid,
+                    span_parent.node_id if span_parent is not None else -1,
+                    env.now,
+                    parent=span_parent,
+                    detail=f"re-pull {rounds}, {len(available)} chunks",
+                )
             delay = policy.delay(rounds - 1)
             if delay > 0:
                 yield env.timeout(delay)
+            if spans is not None:
+                spans.end(rspan, env.now, round=rounds, chunks=len(available))
         procs = [
             env.process(puller(nid), name=f"chunk-puller[{nid}]")
             for nid in pool

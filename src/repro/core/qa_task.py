@@ -17,6 +17,11 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass, field, replace
 
+from ..observability.names import (
+    NODE_QUEUE_WAIT_S,
+    PARTITION_CHUNKS,
+)
+from ..observability.spans import Span, SpanCategory
 from ..qa.profiles import CollectionProfile, ParagraphProfile, QuestionProfile
 from ..simulation.events import Event
 from ..simulation.network import TransferFailed
@@ -79,6 +84,11 @@ class TaskPolicy:
     #: recovery.  The default (unbounded, no backoff) is the paper's
     #: behaviour; chaos campaigns bound it so flapping clusters converge.
     distribution_retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: CPU seconds a dispatcher spends per load-table entry it scans
+    #: (Eq 15's ``t_dispatch``).  The paper-faithful default of 0 keeps
+    #: dispatch decisions instantaneous; ``repro observe`` sets it to the
+    #: model's ~1e-5 s so measured dispatch cost is comparable to Eq 15.
+    dispatch_scan_cpu_s: float = 0.0
 
 
 @dataclass(slots=True)
@@ -162,6 +172,13 @@ class DistributedQATask:
         self.host = entry_node
         #: Paragraph bytes produced per PR worker (drives host-side merging).
         self._pr_remote_bytes: dict[int, float] = {}
+        #: Hierarchical span tracing (shares the system's store with the
+        #: flat Fig 7 tracer).  ``_root`` is the per-question root span,
+        #: ``_stage`` the currently open partition-stage span that chunk
+        #: executors and transfers attach to.
+        self._spans = system.spans
+        self._root: Span | None = None
+        self._stage: Span | None = None
 
     # -- helpers ----------------------------------------------------------------
     def _node(self, nid: int):
@@ -174,28 +191,44 @@ class DistributedQATask:
         (possibly a thief).  Raises :class:`NodeDown` if every node the
         task lands on dies while it waits.
         """
-        while True:
-            node = self._node(nid)
-            node.active_questions += 1
-            try:
-                yield node.admit_question()
-            except NodeDown:
-                node.active_questions -= 1
-                raise
-            except Stolen as claim:
-                node.active_questions -= 1
-                self._trace(nid, "stolen", f"-> N{claim.target}")
+        env = self.system.env
+        t_enter = env.now
+        span = self._spans.begin(
+            "queue",
+            SpanCategory.QUEUE,
+            self.profile.qid,
+            nid,
+            t_enter,
+            parent=self._root,
+        )
+        try:
+            while True:
+                node = self._node(nid)
+                node.active_questions += 1
                 try:
-                    yield from self.system.network.transfer(
-                        nid, claim.target, self.profile.question_bytes
-                    )
-                except TransferFailed:
-                    continue  # thief died mid-claim: re-queue at home
-                self.result.stolen += 1
-                nid = claim.target
-                continue
-            self.host = nid
-            return
+                    yield node.admit_question()
+                except NodeDown:
+                    node.active_questions -= 1
+                    raise
+                except Stolen as claim:
+                    node.active_questions -= 1
+                    self._trace(nid, "stolen", "-> N%d", claim.target)
+                    try:
+                        yield from self.system.network.transfer(
+                            nid, claim.target, self.profile.question_bytes
+                        )
+                    except TransferFailed:
+                        continue  # thief died mid-claim: re-queue at home
+                    self.result.stolen += 1
+                    nid = claim.target
+                    continue
+                self.host = nid
+                self.system.metrics.observe(
+                    NODE_QUEUE_WAIT_S, env.now - t_enter
+                )
+                return
+        finally:
+            self._spans.end(span, env.now, node=nid)
 
     def _abandon(self, reason: str) -> TaskResult:
         """Mark the task lost before it ever started executing."""
@@ -206,25 +239,68 @@ class DistributedQATask:
         self._trace(self.host, "task-lost", reason)
         return self.result
 
-    def _trace(self, nid: int, kind: str, detail: str = "") -> None:
-        self.system.tracer.record(
-            self.system.env.now, nid, self.profile.qid, kind, detail
-        )
+    def _trace(self, nid: int, kind: str, fmt: str = "", *args: object) -> None:
+        """Fig 7 instant with %-style lazy detail formatting.
+
+        The detail string is only built when tracing is enabled, so the
+        disabled hot path allocates nothing (the satellite requirement on
+        ``Tracer.record``).
+        """
+        tracer = self.system.tracer
+        if tracer.enabled:
+            tracer.record(
+                self.system.env.now,
+                nid,
+                self.profile.qid,
+                kind,
+                fmt % args if args else fmt,
+            )
 
     def _transfer(
         self, src: int, dst: int, nbytes: float, category: str,
         new_connection: bool = False,
+        parent: Span | None = None,
     ) -> t.Generator[Event, object, None]:
         """Network transfer with overhead accounting (skipped when local)."""
         if src == dst or nbytes <= 0:
             return
+        span = self._spans.begin(
+            f"xfer:{category}",
+            SpanCategory.COMMS,
+            self.profile.qid,
+            src,
+            self.system.env.now,
+            parent=parent if parent is not None else self._root,
+            detail=f"N{src} -> N{dst}",
+        )
         elapsed = yield from self.system.network.transfer(
             src, dst, nbytes, new_connection=new_connection
         )
+        self._spans.end(span, self.system.env.now, bytes=nbytes)
         self.result.overhead[category] += t.cast(float, elapsed)
 
     # -- main task body -------------------------------------------------------------
     def run(self) -> t.Generator[Event, object, TaskResult]:
+        env = self.system.env
+        profile = self.profile
+        result = self.result
+        self._root = self._spans.begin(
+            "question", SpanCategory.TASK, profile.qid, self.host, env.now
+        )
+        try:
+            result = yield from self._run_traced()
+        finally:
+            self._spans.end(
+                self._root,
+                env.now,
+                host=self.host,
+                failed=self.result.failed,
+                stolen=self.result.stolen,
+            )
+        return result
+
+    def _run_traced(self) -> t.Generator[Event, object, TaskResult]:
+        """The task body proper (wrapped by ``run``'s root span)."""
         env = self.system.env
         profile = self.profile
         result = self.result
@@ -269,7 +345,7 @@ class DistributedQATask:
             host_node.memory.release(host_mem)
         result.end_time = env.now
         if not result.failed:
-            self._trace(self.host, "done", f"{result.response_time:.2f}s")
+            self._trace(self.host, "done", "%.2fs", result.response_time)
         return result
 
     def _dispatch_question(self) -> t.Generator[Event, object, None]:
@@ -281,31 +357,80 @@ class DistributedQATask:
         next-best candidate, up to its attempt budget; once the budget is
         exhausted the question stays home.
         """
+        env = self.system.env
+        qid = self.profile.qid
         dispatcher = self.system.question_dispatcher
+        span = self._spans.begin(
+            "dispatch:qa",
+            SpanCategory.DISPATCH,
+            qid,
+            self.host,
+            env.now,
+            parent=self._root,
+        )
+        yield from self._dispatch_scan_cost()
         dead: set[int] = set()
         for attempt in range(dispatcher.max_attempts):
             target = dispatcher.choose(self.host, exclude=dead)
             if target == self.host:
+                self._spans.end(span, env.now)
                 return
+            mspan = self._spans.begin(
+                "migrate:qa",
+                SpanCategory.MIGRATION,
+                qid,
+                self.host,
+                env.now,
+                parent=span,
+                detail=f"-> N{target}",
+            )
             try:
                 yield from self.system.network.transfer(
                     self.host, target, self.profile.question_bytes
                 )
             except TransferFailed:
-                dispatcher.migration_failures += 1
+                dispatcher.note_migration_failure()
                 dead.add(target)
-                self._trace(self.host, "qa-migrate-failed", f"-> N{target}")
+                self._trace(self.host, "qa-migrate-failed", "-> N%d", target)
                 delay = dispatcher.backoff_delay(attempt)
                 if delay > 0:
-                    yield self.system.env.timeout(delay)
+                    yield env.timeout(delay)
+                # The migration span covers the failed hand-off plus its
+                # backoff — the measurable cost of the retry.
+                self._spans.end(mspan, env.now, failed=True)
                 continue
-            self._trace(self.host, "qa-migrate", f"-> N{target}")
+            self._spans.end(mspan, env.now)
+            self._trace(self.host, "qa-migrate", "-> N%d", target)
             self.result.migrated_qa = True
             source = self._node(self.host)
             source.active_questions -= 1
             source.release_question()
+            # End the dispatch span before queueing at the target: the
+            # wait there is queueing, not dispatch (the queue span is a
+            # sibling under the question root).
+            self._spans.end(span, env.now, migrated=True)
             yield from self._enqueue(target)
             return
+        self._spans.end(span, env.now, exhausted=True)
+
+    def _dispatch_scan_cost(self) -> t.Generator[Event, object, None]:
+        """Charge the host the Eq 15 load-table scan cost (if modelled)."""
+        cost = self.policy.dispatch_scan_cpu_s
+        if cost > 0:
+            yield from self._node(self.host).run_cpu(
+                cost * self.system.config.n_nodes
+            )
+
+    def _module_span(self, name: str) -> Span | None:
+        """Open a host-side compute span under the question root."""
+        return self._spans.begin(
+            name,
+            SpanCategory.COMPUTE,
+            self.profile.qid,
+            self.host,
+            self.system.env.now,
+            parent=self._root,
+        )
 
     def _run_stages(self) -> t.Generator[Event, object, None]:
         profile = self.profile
@@ -315,7 +440,9 @@ class DistributedQATask:
         # ---- QP -------------------------------------------------------------------
         t0 = self.system.env.now
         self._trace(self.host, "qp-start")
+        span = self._module_span("QP")
         yield from host_node.run_cpu(profile.qp_cpu_s)
+        self._spans.end(span, self.system.env.now)
         result.module_times["QP"] = self.system.env.now - t0
 
         # ---- PR + PS (scheduling point 2) ----------------------------------------
@@ -323,21 +450,26 @@ class DistributedQATask:
 
         # ---- PO --------------------------------------------------------------------
         t0 = self.system.env.now
+        span = self._module_span("PO")
         yield from host_node.run_cpu(profile.po_cpu_s)
+        self._spans.end(span, self.system.env.now)
         result.module_times["PO"] = self.system.env.now - t0
-        self._trace(self.host, "po-done", f"{profile.n_accepted} accepted")
+        self._trace(self.host, "po-done", "%d accepted", profile.n_accepted)
 
         # ---- AP (scheduling point 3) ------------------------------------------------
         yield from self._run_ap_stage()
 
         # ---- answer sorting ---------------------------------------------------------
         t0 = self.system.env.now
+        span = self._module_span("sort:answers")
         sort_cpu = 2e-4 * profile.n_answers * max(1, result.ap_partition_width)
         yield from host_node.run_cpu(sort_cpu)
+        self._spans.end(span, self.system.env.now)
         result.overhead["answer_sort"] += self.system.env.now - t0
 
     # -- PR stage -----------------------------------------------------------------------
     def _run_pr_stage(self) -> t.Generator[Event, object, None]:
+        env = self.system.env
         profile = self.profile
         result = self.result
         policy = self.policy
@@ -345,18 +477,37 @@ class DistributedQATask:
         pr_compute: dict[int, float] = {}
         ps_compute: dict[int, float] = {}
 
+        stage = self._spans.begin(
+            "stage:PR",
+            SpanCategory.PARTITION,
+            profile.qid,
+            self.host,
+            env.now,
+            parent=self._root,
+        )
+        dspan = self._spans.begin(
+            "dispatch:pr",
+            SpanCategory.DISPATCH,
+            profile.qid,
+            self.host,
+            env.now,
+            parent=stage,
+        )
+        if policy.enable_pr_dispatch:
+            yield from self._dispatch_scan_cost()
         assignment = self._dispatch(
             enabled=policy.enable_pr_dispatch,
             weights=PR_WEIGHTS,
             margin=policy.pr_underload_margin,
             max_parts=len(collections),
         )
+        self._spans.end(dspan, env.now, width=len(assignment.shares))
         result.pr_partition_width = len(assignment.shares)
         if assignment.node_ids != [self.host]:
             result.migrated_pr = True
             self._trace(
                 self.host, "pr-dispatch",
-                "-> " + ",".join(f"N{n}" for n in assignment.node_ids),
+                "-> %s", ",".join(f"N{n}" for n in assignment.node_ids),
             )
 
         def executor(
@@ -364,21 +515,39 @@ class DistributedQATask:
         ) -> t.Generator[Event, object, None]:
             yield from self._pr_executor(nid, items, pr_compute, ps_compute)
 
-        yield from self._distribute(
-            items=collections,
-            assignment=assignment,
-            executor=executor,
-            strategy=policy.pr_strategy,
-            chunk_size=policy.pr_chunk_collections,
-        )
+        self._stage = stage
+        try:
+            yield from self._distribute(
+                items=collections,
+                assignment=assignment,
+                executor=executor,
+                strategy=policy.pr_strategy,
+                chunk_size=policy.pr_chunk_collections,
+            )
 
-        # Paragraph merging: the host reads remotely produced paragraphs
-        # back from disk before ordering (Section 3.2).
-        remote_bytes = sum(
-            b for nid, b in self._pr_remote_bytes.items() if nid != self.host
-        )
-        if remote_bytes > 0:
-            yield from self._node(self.host).run_disk(remote_bytes)
+            # Paragraph merging: the host reads remotely produced paragraphs
+            # back from disk before ordering (Section 3.2).
+            remote_bytes = sum(
+                b
+                for nid, b in self._pr_remote_bytes.items()
+                if nid != self.host
+            )
+            if remote_bytes > 0:
+                mspan = self._spans.begin(
+                    "merge:paragraphs",
+                    SpanCategory.COMPUTE,
+                    profile.qid,
+                    self.host,
+                    env.now,
+                    parent=stage,
+                )
+                yield from self._node(self.host).run_disk(remote_bytes)
+                self._spans.end(mspan, env.now, bytes=remote_bytes)
+        finally:
+            self._stage = None
+            self._spans.end(
+                stage, env.now, width=len(assignment.shares)
+            )
 
         result.module_times["PR"] = max(pr_compute.values(), default=0.0)
         result.module_times["PS"] = max(ps_compute.values(), default=0.0)
@@ -391,37 +560,55 @@ class DistributedQATask:
         ps_compute: dict[int, float],
     ) -> t.Generator[Event, object, None]:
         """Run PR+PS for a set of collections on node ``nid``."""
+        env = self.system.env
         node = self._node(nid)
         remote = nid != self.host
         allocated = False
+        chunk = self._spans.begin(
+            "pr-chunk",
+            SpanCategory.PARTITION,
+            self.profile.qid,
+            nid,
+            env.now,
+            parent=self._stage,
+            detail=f"{len(items)}c",
+        )
+        self.system.metrics.inc(PARTITION_CHUNKS)
         try:
             if remote:
                 yield from self._transfer(
                     self.host, nid, self.profile.keyword_bytes, "keyword_send",
-                    new_connection=True,
+                    new_connection=True, parent=chunk,
                 )
                 node.memory.allocate(self.policy.pr_subtask_memory_bytes)
                 allocated = True
             for coll in items:
                 if not node.up:
                     raise WorkerFailed(nid, items[items.index(coll):])
-                t0 = self.system.env.now
+                cspan = self._spans.begin(
+                    "pr+ps",
+                    SpanCategory.COMPUTE,
+                    self.profile.qid,
+                    nid,
+                    env.now,
+                    parent=chunk,
+                    detail=f"c{coll.collection_id}",
+                )
+                t0 = env.now
                 yield from node.run_cost(coll.cost)
-                pr_compute[nid] = pr_compute.get(nid, 0.0) + (
-                    self.system.env.now - t0
-                )
-                t0 = self.system.env.now
+                pr_compute[nid] = pr_compute.get(nid, 0.0) + (env.now - t0)
+                t0 = env.now
                 yield from node.run_cpu(coll.ps_cpu_s)
-                ps_compute[nid] = ps_compute.get(nid, 0.0) + (
-                    self.system.env.now - t0
-                )
+                ps_compute[nid] = ps_compute.get(nid, 0.0) + (env.now - t0)
+                self._spans.end(cspan, env.now)
                 self._trace(
                     nid, "pr-collection",
-                    f"c{coll.collection_id} {coll.n_paragraphs}p",
+                    "c%d %dp", coll.collection_id, coll.n_paragraphs,
                 )
                 if remote:
                     yield from self._transfer(
-                        nid, self.host, coll.paragraph_bytes, "paragraph_recv"
+                        nid, self.host, coll.paragraph_bytes, "paragraph_recv",
+                        parent=chunk,
                     )
                 self._pr_remote_bytes[nid] = self._pr_remote_bytes.get(
                     nid, 0.0
@@ -431,27 +618,48 @@ class DistributedQATask:
         finally:
             if allocated:
                 node.memory.release(self.policy.pr_subtask_memory_bytes)
+            self._spans.end(chunk, env.now)
 
     # -- AP stage -----------------------------------------------------------------------
     def _run_ap_stage(self) -> t.Generator[Event, object, None]:
+        env = self.system.env
         profile = self.profile
         result = self.result
         policy = self.policy
         paragraphs = profile.paragraphs
         ap_compute: dict[int, float] = {}
 
+        stage = self._spans.begin(
+            "stage:AP",
+            SpanCategory.PARTITION,
+            profile.qid,
+            self.host,
+            env.now,
+            parent=self._root,
+        )
+        dspan = self._spans.begin(
+            "dispatch:ap",
+            SpanCategory.DISPATCH,
+            profile.qid,
+            self.host,
+            env.now,
+            parent=stage,
+        )
+        if policy.enable_ap_dispatch:
+            yield from self._dispatch_scan_cost()
         assignment = self._dispatch(
             enabled=policy.enable_ap_dispatch,
             weights=AP_WEIGHTS,
             margin=policy.ap_underload_margin,
             max_parts=None,
         )
+        self._spans.end(dspan, env.now, width=len(assignment.shares))
         result.ap_partition_width = len(assignment.shares)
         if assignment.node_ids != [self.host]:
             result.migrated_ap = True
             self._trace(
                 self.host, "ap-dispatch",
-                "-> " + ",".join(f"N{n}" for n in assignment.node_ids),
+                "-> %s", ",".join(f"N{n}" for n in assignment.node_ids),
             )
 
         def executor(
@@ -465,13 +673,18 @@ class DistributedQATask:
             chunk = max(
                 5, len(paragraphs) // (policy.ap_chunks_per_node * width)
             )
-        yield from self._distribute(
-            items=paragraphs,
-            assignment=assignment,
-            executor=executor,
-            strategy=policy.ap_strategy,
-            chunk_size=chunk,
-        )
+        self._stage = stage
+        try:
+            yield from self._distribute(
+                items=paragraphs,
+                assignment=assignment,
+                executor=executor,
+                strategy=policy.ap_strategy,
+                chunk_size=chunk,
+            )
+        finally:
+            self._stage = None
+            self._spans.end(stage, env.now, width=len(assignment.shares))
         result.module_times["AP"] = max(ap_compute.values(), default=0.0)
 
     def _ap_executor(
@@ -480,6 +693,7 @@ class DistributedQATask:
         items: list[ParagraphProfile],
         ap_compute: dict[int, float],
     ) -> t.Generator[Event, object, None]:
+        env = self.system.env
         node = self._node(nid)
         remote = nid != self.host
         nbytes = sum(p.size_bytes for p in items)
@@ -488,25 +702,47 @@ class DistributedQATask:
         )
         mem_share = ap_mem_total * len(items) / max(1, self.profile.n_accepted)
         allocated = False
+        chunk = self._spans.begin(
+            "ap-chunk",
+            SpanCategory.PARTITION,
+            self.profile.qid,
+            nid,
+            env.now,
+            parent=self._stage,
+            detail=f"{len(items)}p",
+        )
+        self.system.metrics.inc(PARTITION_CHUNKS)
         try:
             if remote:
                 yield from self._transfer(
-                    self.host, nid, nbytes, "paragraph_send", new_connection=True
+                    self.host, nid, nbytes, "paragraph_send",
+                    new_connection=True, parent=chunk,
                 )
             node.memory.allocate(mem_share)
             allocated = True
             if not node.up:
                 raise WorkerFailed(nid, items)
-            t0 = self.system.env.now
+            cspan = self._spans.begin(
+                "ap",
+                SpanCategory.COMPUTE,
+                self.profile.qid,
+                nid,
+                env.now,
+                parent=chunk,
+            )
+            t0 = env.now
             cpu = sum(p.ap_cpu_s for p in items) + self.policy.ap_per_partition_cpu_s
             yield from node.run_cpu(cpu)
-            ap_compute[nid] = ap_compute.get(nid, 0.0) + (self.system.env.now - t0)
-            self._trace(nid, "ap-part", f"{len(items)}p in {self.system.env.now - t0:.2f}s")
+            ap_compute[nid] = ap_compute.get(nid, 0.0) + (env.now - t0)
+            self._spans.end(cspan, env.now)
+            self._trace(nid, "ap-part", "%dp in %.2fs", len(items), env.now - t0)
             if not node.up:
                 raise WorkerFailed(nid, items)
             if remote:
                 answer_bytes = self.profile.n_answers * self.profile.answer_bytes
-                yield from self._transfer(nid, self.host, answer_bytes, "answer_recv")
+                yield from self._transfer(
+                    nid, self.host, answer_bytes, "answer_recv", parent=chunk
+                )
                 # The host reads received answers from disk before merging.
                 yield from self._node(self.host).run_disk(answer_bytes)
         except TransferFailed as exc:
@@ -514,6 +750,7 @@ class DistributedQATask:
         finally:
             if allocated:
                 node.memory.release(mem_share)
+            self._spans.end(chunk, env.now)
 
     # -- shared dispatch/distribution machinery ----------------------------------------
     def _dispatch(
@@ -537,6 +774,7 @@ class DistributedQATask:
             include=self.host,
             stay_on=self.host,
             stay_threshold=single_task_load(weights),
+            registry=self.system.metrics,
         )
         # Optimistically account the dispatched work on the chosen nodes in
         # this host's local table, damping same-interval herding.
@@ -570,6 +808,10 @@ class DistributedQATask:
             yield from run_receiver_controlled(
                 env, items, assignment.node_ids, executor, chunk_size,
                 policy=self.policy.distribution_retry,
+                spans=self._spans,
+                span_parent=self._stage,
+                qid=self.profile.qid,
+                metrics=self.system.metrics,
             )
         else:
             yield from run_sender_controlled(
@@ -579,6 +821,10 @@ class DistributedQATask:
                 executor,
                 interleaved=strategy is PartitioningStrategy.ISEND,
                 policy=self.policy.distribution_retry,
+                spans=self._spans,
+                span_parent=self._stage,
+                qid=self.profile.qid,
+                metrics=self.system.metrics,
             )
 
     def _single_node_with_recovery(
@@ -590,5 +836,5 @@ class DistributedQATask:
         except WorkerFailed as failure:
             if nid == self.host:
                 raise  # the host itself died; the task is lost
-            self._trace(nid, "worker-failed", f"{len(failure.unprocessed)} items")
+            self._trace(nid, "worker-failed", "%d items", len(failure.unprocessed))
             yield from executor(self.host, list(failure.unprocessed))

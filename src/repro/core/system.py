@@ -21,6 +21,9 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import TASK_RETRIES
+from ..observability.spans import SpanStream
 from ..qa.profiles import QuestionProfile
 from ..simulation.engine import Environment, Process
 from ..simulation.events import Event
@@ -72,6 +75,9 @@ class SystemConfig:
     gradient_balancing: bool = False
     gradient_interval_s: float = 0.5
     trace: bool = False
+    #: Bound on stored spans/events (None = unbounded); long chaos
+    #: campaigns set this so the trace store cannot grow without limit.
+    trace_max_events: int | None = None
     seed: int = 0
     #: Graceful degradation: how many times a question whose hosting node
     #: died is re-admitted at the front-end before being reported lost.
@@ -198,6 +204,16 @@ class DistributedQASystem:
     def __init__(self, config: SystemConfig | None = None) -> None:
         self.config = config or SystemConfig()
         self.env = Environment()
+        #: One metrics registry per system: every subsystem records its
+        #: counters/histograms here under the canonical names of
+        #: :mod:`repro.observability.names`.
+        self.metrics = MetricsRegistry()
+        #: Hierarchical span store; ``config.trace`` is the single switch
+        #: for both the span trees and the flat Fig 7 view.
+        self.spans = SpanStream(
+            enabled=self.config.trace,
+            max_spans=self.config.trace_max_events,
+        )
         self.network = Network(
             self.env,
             bandwidth_bps=self.config.network_bandwidth_bps,
@@ -216,14 +232,18 @@ class DistributedQASystem:
             interval_s=self.config.monitor_interval_s,
             packet_bytes=self.config.monitor_packet_bytes,
             membership_timeout_s=self.config.membership_timeout_s,
+            metrics=self.metrics,
         )
-        self.question_dispatcher = QuestionDispatcher(self.monitoring)
+        self.question_dispatcher = QuestionDispatcher(
+            self.monitoring, metrics=self.metrics
+        )
         self.frontend = DNSFrontend(
             self.config.n_nodes,
             cache_skew=self.config.dns_cache_skew,
             seed=self.config.seed,
+            metrics=self.metrics,
         )
-        self.tracer = Tracer(enabled=self.config.trace)
+        self.tracer = Tracer(stream=self.spans)
         self.policy = self.config.effective_policy()
         self.failures = FailureInjector(
             self.env,
@@ -365,6 +385,7 @@ class DistributedQASystem:
                         first_failure_at = self.env.now
                     attempts += 1
                     retries += 1
+                    self.metrics.inc(TASK_RETRIES)
                     backoff = self.config.question_retry_backoff_s * (
                         2.0 ** (attempts - 1)
                     )

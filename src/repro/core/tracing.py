@@ -1,16 +1,27 @@
-"""Execution tracing (Figure 7).
+"""Execution tracing (Figure 7) — a compatibility view over span streams.
 
 The paper illustrates partitioning behaviour with timestamped system
 traces ("N1 started paragraph retrieval...", "N2 finished chunk 3 in 0.19
-sec").  :class:`Tracer` records structured events during simulation;
-:func:`render_trace` prints them in the same one-line-per-event style,
-which the Fig 7 benchmark regenerates.
+sec").  :class:`Tracer` preserves that flat-event API, but since the
+observability layer landed it is a thin view over a
+:class:`~repro.observability.spans.SpanStream`: ``record`` stores a
+zero-duration *instant* span, and ``events`` reconstructs the legacy
+:class:`TraceEvent` list from the stream's instants.  The hierarchical
+span data lives in the same stream, so one switch
+(``SystemConfig.trace``) turns on both views and the Fig 7 benchmark is
+unchanged.
+
+``record`` is allocation-free when tracing is disabled, and ``max_events``
+bounds the backing store so long chaos campaigns cannot grow the event
+list without limit (overflow is counted, not stored).
 """
 
 from __future__ import annotations
 
 import typing as t
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from ..observability.spans import SpanStream
 
 __all__ = ["TraceEvent", "Tracer", "render_trace"]
 
@@ -27,29 +38,76 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects trace events (cheap no-op when disabled)."""
+    """Flat Fig 7 event recorder, backed by a hierarchical span stream.
 
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
-        self.events: list[TraceEvent] = []
+    Parameters
+    ----------
+    enabled:
+        Record events (ignored when ``stream`` is given — the stream's
+        own flag governs).
+    max_events:
+        Bound on stored events; extra records are counted in the
+        stream's ``dropped`` instead of stored.  ``None`` = unbounded.
+    stream:
+        An existing :class:`SpanStream` to view (the system passes its
+        span stream here so instants and spans share one store).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_events: int | None = None,
+        stream: SpanStream | None = None,
+    ) -> None:
+        self.stream = (
+            SpanStream(enabled=enabled, max_spans=max_events)
+            if stream is None
+            else stream
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether events are being recorded (the stream's flag)."""
+        return self.stream.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.stream.enabled = value
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded after the ``max_events`` bound was hit."""
+        return self.stream.dropped
 
     def record(
         self, time: float, node_id: int, qid: int, kind: str, detail: str = ""
     ) -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(time, node_id, qid, kind, detail))
+        """Record one event; a free no-op while tracing is disabled."""
+        if self.stream.enabled:
+            self.stream.instant(kind, qid, node_id, time, detail)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The flat event list, rebuilt from the stream's instant spans."""
+        return [
+            TraceEvent(s.t0, s.node_id, s.qid, s.name, s.detail)
+            for s in self.stream.instants()
+        ]
 
     def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        """Events whose kind is one of ``kinds``, in record order."""
         return [e for e in self.events if e.kind in kinds]
 
     def count(self, kind: str) -> int:
-        return sum(1 for e in self.events if e.kind == kind)
+        """Number of recorded events of ``kind``."""
+        return sum(1 for s in self.stream.instants() if s.name == kind)
 
     def clear(self) -> None:
-        self.events.clear()
+        """Drop all stored events (and spans — one shared store)."""
+        self.stream.clear()
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.stream.instants())
 
 
 def render_trace(

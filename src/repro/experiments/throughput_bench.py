@@ -30,6 +30,7 @@ from ..corpus import CorpusConfig, generate_corpus, generate_questions
 from ..nlp.entities import EntityRecognizer
 from ..qa import QAPipeline, QAResult
 from ..retrieval import IndexedCorpus
+from ..workload.metrics import percentile
 
 __all__ = [
     "BenchConfig",
@@ -63,11 +64,7 @@ class BenchConfig:
 
 def _percentile_ms(samples: t.Sequence[float], q: float) -> float:
     """The ``q``-quantile of ``samples`` (seconds), in milliseconds."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-    return ordered[idx] * 1e3
+    return percentile(samples, q) * 1e3
 
 
 def _fingerprint(result: QAResult) -> tuple[t.Any, ...]:
@@ -109,6 +106,7 @@ def _run_workload(
         "latency_ms": {
             "p50": _percentile_ms(per_question, 0.50),
             "p95": _percentile_ms(per_question, 0.95),
+            "p99": _percentile_ms(per_question, 0.99),
         },
         "modules": {
             m: {

@@ -1,0 +1,210 @@
+"""Span/metric exporters: JSONL event log and Chrome ``trace_event``.
+
+Two output formats, both consumed by the ``repro observe`` CLI and the CI
+observe-smoke job:
+
+* **JSONL** — one JSON object per line; span lines carry
+  ``{"record": "span", ...}``, the final line carries the metrics registry
+  (``{"record": "metrics", ...}``).  Greppable, diffable, streams.
+* **Chrome trace_event** — the ``{"traceEvents": [...]}`` JSON the
+  ``chrome://tracing`` / `Perfetto <https://ui.perfetto.dev>`_ viewers
+  open directly.  Durational spans become complete (``"ph": "X"``) events,
+  Fig 7 instants become instant (``"ph": "i"``) events; nodes map to
+  ``pid`` rows and questions to ``tid`` tracks, so the viewer shows one
+  swim-lane per node with its questions stacked — the paper's Fig 7 as an
+  interactive timeline.
+
+``validate_jsonl_line`` / ``validate_chrome_trace`` are the schema checks
+the smoke job runs against the emitted files; they raise ``ValueError``
+with a precise message on the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as t
+
+from .metrics import MetricsRegistry
+from .spans import Span, SpanStream
+
+__all__ = [
+    "span_to_json",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_jsonl_line",
+    "validate_chrome_trace",
+]
+
+_MICRO = 1e6  # trace_event timestamps are microseconds
+
+
+def span_to_json(span: Span) -> dict[str, t.Any]:
+    """One span as a flat JSON-friendly dict (the JSONL span record)."""
+    out: dict[str, t.Any] = {
+        "record": "span",
+        "sid": span.sid,
+        "parent": span.parent_id,
+        "name": span.name,
+        "cat": span.cat,
+        "qid": span.qid,
+        "node": span.node_id,
+        "t0": span.t0,
+        "t1": span.t1,
+    }
+    if span.detail:
+        out["detail"] = span.detail
+    if span.attrs:
+        out["attrs"] = span.attrs
+    return out
+
+
+def write_jsonl(
+    stream: SpanStream,
+    path: str | pathlib.Path,
+    metrics: MetricsRegistry | None = None,
+    header: dict[str, t.Any] | None = None,
+) -> pathlib.Path:
+    """Write the span stream (and optional metrics/header) as JSONL."""
+    out = pathlib.Path(path)
+    with out.open("w") as fh:
+        if header is not None:
+            fh.write(json.dumps({"record": "header", **header}) + "\n")
+        for span in stream.spans:
+            fh.write(json.dumps(span_to_json(span)) + "\n")
+        if metrics is not None:
+            fh.write(
+                json.dumps({"record": "metrics", "metrics": metrics.to_dict()})
+                + "\n"
+            )
+    return out
+
+
+def chrome_trace(
+    stream: SpanStream, label: str = "repro observe"
+) -> dict[str, t.Any]:
+    """Render the span stream in Chrome ``trace_event`` JSON format."""
+    events: list[dict[str, t.Any]] = []
+    node_ids = sorted({s.node_id for s in stream.spans})
+    for nid in node_ids:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": nid,
+                "tid": 0,
+                "args": {"name": f"N{nid}"},
+            }
+        )
+    for span in stream.spans:
+        args: dict[str, t.Any] = {"qid": span.qid, "sid": span.sid}
+        if span.parent_id >= 0:
+            args["parent"] = span.parent_id
+        if span.detail:
+            args["detail"] = span.detail
+        args.update(span.attrs)
+        common = {
+            "name": span.name,
+            "cat": span.cat,
+            "pid": span.node_id,
+            "tid": span.qid,
+            "ts": span.t0 * _MICRO,
+            "args": args,
+        }
+        if span.is_instant:
+            events.append({**common, "ph": "i", "s": "t"})
+        else:
+            events.append(
+                {**common, "ph": "X", "dur": max(0.0, span.duration) * _MICRO}
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": label, "dropped_spans": stream.dropped},
+    }
+
+
+def write_chrome_trace(
+    stream: SpanStream,
+    path: str | pathlib.Path,
+    label: str = "repro observe",
+) -> pathlib.Path:
+    """Write :func:`chrome_trace` output to ``path``."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(chrome_trace(stream, label=label)) + "\n")
+    return out
+
+
+# -- schema validation (used by tests and the CI observe-smoke job) -----------
+
+_JSONL_RECORDS = {"header", "span", "metrics"}
+_SPAN_REQUIRED = {
+    "sid": int,
+    "parent": int,
+    "name": str,
+    "cat": str,
+    "qid": int,
+    "node": int,
+    "t0": (int, float),
+    "t1": (int, float),
+}
+
+
+def validate_jsonl_line(obj: dict[str, t.Any]) -> None:
+    """Validate one parsed JSONL record; raises ValueError on violation."""
+    record = obj.get("record")
+    if record not in _JSONL_RECORDS:
+        raise ValueError(f"unknown record type {record!r}")
+    if record == "span":
+        for key, types in _SPAN_REQUIRED.items():
+            if key not in obj:
+                raise ValueError(f"span record missing {key!r}: {obj}")
+            if not isinstance(obj[key], types):  # type: ignore[arg-type]
+                raise ValueError(
+                    f"span field {key!r} has wrong type: {obj[key]!r}"
+                )
+        if obj["t1"] < obj["t0"]:
+            raise ValueError(f"span ends before it starts: {obj}")
+    elif record == "metrics":
+        metrics = obj.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError("metrics record missing 'metrics' mapping")
+        for name, body in metrics.items():
+            if body.get("type") not in {"counter", "gauge", "histogram"}:
+                raise ValueError(f"metric {name!r} has bad type: {body!r}")
+
+
+_PHASES_WITH_DUR = {"X"}
+_VALID_PHASES = {"X", "i", "M", "B", "E"}
+
+
+def validate_chrome_trace(trace: dict[str, t.Any]) -> int:
+    """Validate a ``trace_event`` document; returns the event count.
+
+    Checks the invariants the viewers rely on: a ``traceEvents`` list,
+    every event carrying ``ph``/``pid``/``tid``, ``ts`` on all non-metadata
+    phases, and non-negative ``dur`` on complete events.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"event {i} missing integer {key!r}")
+        if ph != "M":
+            if not isinstance(event.get("ts"), (int, float)):
+                raise ValueError(f"event {i} missing numeric ts")
+            if not isinstance(event.get("name"), str) or not event["name"]:
+                raise ValueError(f"event {i} missing name")
+        if ph in _PHASES_WITH_DUR:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i} has invalid dur {dur!r}")
+    return len(events)

@@ -1,0 +1,81 @@
+"""Canonical metric names shared across the whole codebase.
+
+Before this module, the same quantity went by different names in
+different layers — :mod:`repro.retrieval.boolean` reported
+``postings_scanned`` while the pipeline's work dict called it
+``pr_postings`` and the cost model took a bare ``postings_scanned``
+argument.  Every layer now imports its metric names from here, so the
+registry, the JSON reports, and the cost model all speak one vocabulary.
+
+Naming convention: ``<subsystem>.<noun>[.<qualifier>]``, dot-separated,
+lower case.  Histograms carry a unit suffix (``_s`` seconds, ``_bytes``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AP_PARAGRAPH_BYTES",
+    "CONJUNCTION_CACHE_HITS",
+    "CONJUNCTION_CACHE_MISSES",
+    "DISPATCH_DECISIONS",
+    "DISPATCH_FORCED_SINGLE",
+    "DISPATCH_PARTITION_WIDTH",
+    "DNS_ASSIGNMENTS",
+    "DOC_BYTES_READ",
+    "MONITOR_BROADCASTS",
+    "MONITOR_BUSY_S",
+    "N_KEYWORDS",
+    "NODE_QUEUE_WAIT_S",
+    "POSTINGS_SCANNED",
+    "PARTITION_CHUNKS",
+    "PARTITION_RETRY_ROUNDS",
+    "QA_MIGRATIONS",
+    "QA_MIGRATION_FAILURES",
+    "RELAXATION_ROUNDS",
+    "PS_PARAGRAPH_BYTES",
+    "STEM_CACHE_HITS",
+    "STEM_CACHE_MISSES",
+    "TASK_RETRIES",
+]
+
+# -- retrieval / pipeline work counters (the PR-phase cost drivers) ----------
+#: Posting-list entries scanned by Boolean conjunctions (was
+#: ``postings_scanned`` in the retriever, ``pr_postings`` in the pipeline).
+POSTINGS_SCANNED = "retrieval.postings_scanned"
+#: Document bytes read for paragraph extraction (was ``doc_bytes_read`` /
+#: ``pr_doc_bytes``).
+DOC_BYTES_READ = "retrieval.doc_bytes_read"
+#: Keyword-relaxation rounds of the Falcon retrieval loop.
+RELAXATION_ROUNDS = "retrieval.relaxation_rounds"
+#: Conjunction-cache (PR 2) hit/miss counters.
+CONJUNCTION_CACHE_HITS = "retrieval.conjunction_cache.hits"
+CONJUNCTION_CACHE_MISSES = "retrieval.conjunction_cache.misses"
+#: Shared stem-cache (PR 2) hit/miss counters.
+STEM_CACHE_HITS = "nlp.stem_cache.hits"
+STEM_CACHE_MISSES = "nlp.stem_cache.misses"
+#: Paragraph bytes flowing through PS and AP (pipeline work counters).
+PS_PARAGRAPH_BYTES = "qa.ps.paragraph_bytes"
+AP_PARAGRAPH_BYTES = "qa.ap.paragraph_bytes"
+#: Keywords selected by QP.
+N_KEYWORDS = "qa.qp.n_keywords"
+
+# -- distributed-system counters ---------------------------------------------
+#: DNS front-end question assignments.
+DNS_ASSIGNMENTS = "frontend.assignments"
+#: Question-dispatcher decisions / migrations / failed hand-offs.
+DISPATCH_DECISIONS = "dispatch.decisions"
+QA_MIGRATIONS = "dispatch.qa_migrations"
+QA_MIGRATION_FAILURES = "dispatch.qa_migration_failures"
+#: Meta-scheduler outcomes (per decision).
+DISPATCH_FORCED_SINGLE = "scheduler.forced_single"
+DISPATCH_PARTITION_WIDTH = "scheduler.partition_width"
+#: Partition distribution-loop activity (chunks executed, recovery rounds).
+PARTITION_CHUNKS = "partition.chunks"
+PARTITION_RETRY_ROUNDS = "partition.retry_rounds"
+#: Front-end re-admissions of questions whose host died (PR 1 retry path).
+TASK_RETRIES = "task.frontend_retries"
+#: Load-monitor broadcasts and total monitoring busy time (CPU + network).
+MONITOR_BROADCASTS = "monitor.broadcasts"
+MONITOR_BUSY_S = "monitor.busy_s"
+#: Admission-queue wait per question hop (histogram, seconds).
+NODE_QUEUE_WAIT_S = "node.queue_wait_s"

@@ -13,10 +13,24 @@ import time
 import typing as t
 
 from ..nlp.entities import EntityRecognizer
+from ..nlp.stemming import SHARED_STEM_CACHE
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import (
+    AP_PARAGRAPH_BYTES,
+    CONJUNCTION_CACHE_HITS,
+    CONJUNCTION_CACHE_MISSES,
+    DOC_BYTES_READ,
+    N_KEYWORDS,
+    POSTINGS_SCANNED,
+    PS_PARAGRAPH_BYTES,
+    RELAXATION_ROUNDS,
+    STEM_CACHE_HITS,
+    STEM_CACHE_MISSES,
+)
 from ..retrieval.collection import IndexedCorpus
 from .answer_processing import AnswerProcessor
 from .paragraph_ordering import ParagraphOrderer
-from .paragraph_retrieval import ParagraphRetriever
+from .paragraph_retrieval import PRResult, ParagraphRetriever
 from .paragraph_scoring import ParagraphScorer
 from .question import ModuleTimings, ProcessedQuestion, QAResult, Question
 from .question_processing import QuestionProcessor
@@ -41,6 +55,10 @@ class QAPipeline:
         Route PS and AP through the index's precomputed paragraph term
         layer (the fast path).  ``False`` forces the re-tokenize reference
         path — used by the perf-regression harness as its baseline.
+    metrics:
+        Optional registry receiving the work counters under their
+        canonical :mod:`repro.observability.names` — one vocabulary for
+        the retriever, the work dict, and the JSON reports.
     """
 
     def __init__(
@@ -51,10 +69,12 @@ class QAPipeline:
         threshold_fraction: float = 0.25,
         max_accepted: int = 600,
         use_term_index: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.indexed = indexed
         self.recognizer = recognizer
         self.use_term_index = use_term_index
+        self.metrics = metrics
         term_lookup = indexed.term_lookup if use_term_index else None
         self.qp = QuestionProcessor(recognizer)
         self.pr = ParagraphRetriever(indexed)
@@ -78,13 +98,16 @@ class QAPipeline:
         t0 = time.perf_counter()
         pr_result = self.pr.retrieve(processed)
         timings.pr = time.perf_counter() - t0
-        work["pr_postings"] = float(pr_result.postings_scanned)
-        work["pr_doc_bytes"] = float(pr_result.doc_bytes_read)
+        work[POSTINGS_SCANNED] = float(pr_result.postings_scanned)
+        work[DOC_BYTES_READ] = float(pr_result.doc_bytes_read)
+        work[RELAXATION_ROUNDS] = float(
+            sum(w.relaxation_rounds for w in pr_result.per_collection)
+        )
 
         t0 = time.perf_counter()
         scored = self.ps.score(processed, pr_result.paragraphs)
         timings.ps = time.perf_counter() - t0
-        work["ps_paragraph_bytes"] = float(
+        work[PS_PARAGRAPH_BYTES] = float(
             sum(p.size_bytes for p in pr_result.paragraphs)
         )
 
@@ -95,10 +118,12 @@ class QAPipeline:
         t0 = time.perf_counter()
         answers = self.ap.extract(processed, accepted)
         timings.ap = time.perf_counter() - t0
-        work["ap_paragraph_bytes"] = float(
+        work[AP_PARAGRAPH_BYTES] = float(
             sum(sp.paragraph.size_bytes for sp in accepted)
         )
-        work["n_keywords"] = float(len(processed.keywords))
+        work[N_KEYWORDS] = float(len(processed.keywords))
+        if self.metrics is not None:
+            self._record(pr_result, work)
 
         return QAResult(
             processed=processed,
@@ -108,6 +133,31 @@ class QAPipeline:
             timings=timings,
             work=work,
             paragraph_ranks=tuple(sp.paragraph.key for sp in accepted),
+        )
+
+    def _record(self, pr_result: PRResult, work: dict[str, float]) -> None:
+        """Mirror the work counters into the registry (canonical names)."""
+        assert self.metrics is not None
+        for name in (
+            POSTINGS_SCANNED,
+            DOC_BYTES_READ,
+            RELAXATION_ROUNDS,
+            PS_PARAGRAPH_BYTES,
+            AP_PARAGRAPH_BYTES,
+        ):
+            self.metrics.inc(name, work[name])
+        self.metrics.observe(N_KEYWORDS, work[N_KEYWORDS])
+        # Cache totals are cumulative on the cache objects -> gauges.
+        hits = misses = 0
+        for r in self.indexed.retrievers:
+            stats = r.cache_stats
+            hits += stats["hits"]
+            misses += stats["misses"]
+        self.metrics.gauge(CONJUNCTION_CACHE_HITS).set(float(hits))
+        self.metrics.gauge(CONJUNCTION_CACHE_MISSES).set(float(misses))
+        self.metrics.gauge(STEM_CACHE_HITS).set(float(SHARED_STEM_CACHE.hits))
+        self.metrics.gauge(STEM_CACHE_MISSES).set(
+            float(SHARED_STEM_CACHE.misses)
         )
 
     # Expose module objects for partitioned (distributed) execution.

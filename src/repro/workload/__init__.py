@@ -10,8 +10,10 @@ from .metrics import (
     FailureAccounting,
     LatencySummary,
     failure_accounting,
+    percentile,
     speedup_table,
     summarize_latencies,
+    summarize_samples,
 )
 
 __all__ = [
@@ -19,9 +21,11 @@ __all__ = [
     "LatencySummary",
     "failure_accounting",
     "high_load_count",
+    "percentile",
     "poisson_arrivals",
     "speedup_table",
     "staggered_arrivals",
     "summarize_latencies",
+    "summarize_samples",
     "trec_mix_profiles",
 ]

@@ -14,9 +14,25 @@ __all__ = [
     "FailureAccounting",
     "LatencySummary",
     "failure_accounting",
+    "percentile",
     "summarize_latencies",
+    "summarize_samples",
     "speedup_table",
 ]
+
+
+def percentile(samples: t.Sequence[float], q: float) -> float:
+    """The ``q``-quantile (``q`` in [0, 1]) of ``samples``; 0.0 when empty.
+
+    The single percentile definition shared by every report writer
+    (linearly interpolated, matching ``numpy.percentile``) — the
+    experiments used to hand-roll their own nearest-rank variants.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if len(samples) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=float), 100.0 * q))
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +45,24 @@ class LatencySummary:
     p95_s: float
     min_s: float
     max_s: float
+    p99_s: float = 0.0
+
+    @property
+    def p50_s(self) -> float:
+        """The median under its percentile name (JSON symmetry with p95/p99)."""
+        return self.median_s
+
+    def to_dict(self) -> dict[str, float | int]:
+        """JSON-friendly form used by all report writers."""
+        return {
+            "n": self.n,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -37,11 +71,11 @@ class LatencySummary:
         )
 
 
-def summarize_latencies(report: "WorkloadReport") -> LatencySummary:
-    """Summarize a workload report's response-time distribution."""
-    times = np.array([r.response_time for r in report.results], dtype=float)
+def summarize_samples(samples: t.Sequence[float]) -> LatencySummary:
+    """Summarize any sample sequence (seconds) as a :class:`LatencySummary`."""
+    times = np.asarray(samples, dtype=float)
     if times.size == 0:
-        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
     return LatencySummary(
         n=int(times.size),
         mean_s=float(times.mean()),
@@ -49,7 +83,13 @@ def summarize_latencies(report: "WorkloadReport") -> LatencySummary:
         p95_s=float(np.percentile(times, 95)),
         min_s=float(times.min()),
         max_s=float(times.max()),
+        p99_s=float(np.percentile(times, 99)),
     )
+
+
+def summarize_latencies(report: "WorkloadReport") -> LatencySummary:
+    """Summarize a workload report's response-time distribution."""
+    return summarize_samples([r.response_time for r in report.results])
 
 
 @dataclass(frozen=True, slots=True)

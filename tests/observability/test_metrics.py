@@ -1,0 +1,103 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("x")
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        h = Histogram("x")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 4
+        assert d["sum"] == 10.0
+        assert d["min"] == 1.0 and d["max"] == 4.0
+
+    def test_percentiles_ordering(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0.5) <= h.percentile(0.95) <= h.percentile(0.99)
+        assert 40 <= h.percentile(0.5) <= 60
+
+    def test_count_and_total_exact_under_decimation(self):
+        # Decimation bounds memory but never loses count/total/min/max.
+        h = Histogram("x", max_samples=64)
+        n = 10_000
+        for v in range(n):
+            h.observe(float(v))
+        d = h.to_dict()
+        assert d["count"] == n
+        assert d["sum"] == float(sum(range(n)))
+        assert d["min"] == 0.0 and d["max"] == float(n - 1)
+        assert len(h._samples) <= 2 * 64
+
+    def test_empty(self):
+        h = Histogram("x")
+        assert h.percentile(0.5) == 0.0
+        assert h.to_dict()["count"] == 0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("b") is r.gauge("b")
+        assert r.histogram("c") is r.histogram("c")
+        assert len(r) == 3
+        assert "a" in r and "missing" not in r
+
+    def test_type_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_inc_observe_value(self):
+        r = MetricsRegistry()
+        r.inc("hits")
+        r.inc("hits", 2.0)
+        r.observe("wait_s", 0.5)
+        r.observe("wait_s", 1.5)
+        assert r.value("hits") == 3.0
+        assert r.value("wait_s") == 2.0  # histogram -> total
+        assert r.value("missing") == 0.0
+
+    def test_to_dict_shapes(self):
+        r = MetricsRegistry()
+        r.inc("c")
+        r.gauge("g").set(1.0)
+        r.observe("h", 2.0)
+        d = r.to_dict()
+        assert d["c"]["type"] == "counter"
+        assert d["g"]["type"] == "gauge"
+        assert d["h"]["type"] == "histogram"
+        assert {"p50", "p95", "p99"} <= set(d["h"])
+
+    def test_names_sorted(self):
+        r = MetricsRegistry()
+        r.inc("b")
+        r.inc("a")
+        assert r.names() == ["a", "b"]

@@ -1,0 +1,117 @@
+"""Tests for the span stream and the legacy Tracer compatibility view."""
+
+import pytest
+
+from repro.core.tracing import Tracer
+from repro.observability import Span, SpanCategory, SpanStream
+
+
+class TestSpanStream:
+    def test_begin_end_duration(self):
+        s = SpanStream()
+        span = s.begin("work", SpanCategory.COMPUTE, qid=1, node_id=0, time=1.0)
+        s.end(span, 3.5, bytes=42)
+        assert span.duration == 2.5
+        assert span.attrs == {"bytes": 42}
+        assert not span.is_instant
+
+    def test_parent_child_tree(self):
+        s = SpanStream()
+        root = s.begin("question", SpanCategory.TASK, 1, 0, 0.0)
+        child = s.begin(
+            "QP", SpanCategory.COMPUTE, 1, 0, 0.0, parent=root
+        )
+        grand = s.begin(
+            "xfer", SpanCategory.COMMS, 1, 0, 0.1, parent=child
+        )
+        assert s.roots(1) == [root]
+        assert s.children(root) == [child]
+        assert [x.name for x in s.subtree(root)] == ["question", "QP", "xfer"]
+        assert grand.parent_id == child.sid
+
+    def test_instants_separate_from_intervals(self):
+        s = SpanStream()
+        s.begin("work", SpanCategory.COMPUTE, 1, 0, 0.0)
+        s.instant("qp-start", 1, 0, 0.0)
+        assert len(s.instants()) == 1
+        assert len(s.intervals()) == 1
+        assert s.instants()[0].is_instant
+
+    def test_disabled_is_noop_returning_none(self):
+        s = SpanStream(enabled=False)
+        span = s.begin("work", SpanCategory.COMPUTE, 1, 0, 0.0)
+        assert span is None
+        s.end(span, 1.0)  # must not raise
+        s.instant("e", 1, 0, 0.0)
+        assert len(s) == 0
+
+    def test_max_spans_bound_counts_dropped(self):
+        s = SpanStream(max_spans=2)
+        kept = s.begin("a", SpanCategory.COMPUTE, 1, 0, 0.0)
+        s.instant("b", 1, 0, 0.0)
+        assert s.begin("c", SpanCategory.COMPUTE, 1, 0, 0.0) is None
+        s.instant("d", 1, 0, 0.0)
+        assert len(s) == 2
+        assert s.dropped == 2
+        s.end(kept, 2.0)  # open spans can still be closed at the bound
+        assert kept.t1 == 2.0
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            SpanStream(max_spans=0)
+
+    def test_clear(self):
+        s = SpanStream(max_spans=1)
+        s.instant("a", 1, 0, 0.0)
+        s.instant("b", 1, 0, 0.0)
+        assert s.dropped == 1
+        s.clear()
+        assert len(s) == 0 and s.dropped == 0
+
+    def test_question_ids(self):
+        s = SpanStream()
+        s.instant("a", 3, 0, 0.0)
+        s.instant("b", 1, 0, 0.0)
+        assert s.question_ids() == [1, 3]
+
+
+class TestTracerCompatibility:
+    def test_events_view_over_instants(self):
+        t = Tracer()
+        t.record(1.0, 0, 5, "qp-start")
+        t.record(2.0, 1, 5, "pr-collection", "c3")
+        events = t.events
+        assert [(e.time, e.node_id, e.qid, e.kind) for e in events] == [
+            (1.0, 0, 5, "qp-start"),
+            (2.0, 1, 5, "pr-collection"),
+        ]
+        assert events[1].detail == "c3"
+
+    def test_disabled_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record(1.0, 0, 5, "qp-start")
+        assert len(t) == 0
+
+    def test_max_events_bound(self):
+        t = Tracer(max_events=3)
+        for i in range(10):
+            t.record(float(i), 0, 0, "e")
+        assert len(t) == 3
+        assert t.dropped == 7
+
+    def test_enabled_toggle_delegates_to_stream(self):
+        stream = SpanStream(enabled=False)
+        t = Tracer(stream=stream)
+        assert not t.enabled
+        t.enabled = True
+        assert stream.enabled
+        t.record(0.0, 0, 0, "e")
+        assert len(stream.instants()) == 1
+
+    def test_shared_stream_interleaves(self):
+        # Durational spans in the shared store never leak into `events`.
+        stream = SpanStream()
+        t = Tracer(stream=stream)
+        stream.begin("question", SpanCategory.TASK, 1, 0, 0.0)
+        t.record(0.5, 0, 1, "qp-start")
+        assert [e.kind for e in t.events] == ["qp-start"]

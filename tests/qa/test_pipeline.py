@@ -55,10 +55,12 @@ class TestEndToEnd:
         assert abs(sum(fractions.values()) - 1.0) < 1e-9
 
     def test_work_counters_populated(self, setup):
+        from repro.observability.names import N_KEYWORDS, POSTINGS_SCANNED
+
         pipeline, questions = setup
         result = pipeline.answer(questions[2].text)
-        assert result.work["pr_postings"] >= 0
-        assert result.work["n_keywords"] >= 1
+        assert result.work[POSTINGS_SCANNED] >= 0
+        assert result.work[N_KEYWORDS] >= 1
 
     def test_accepts_question_object_or_string(self, setup):
         from repro.qa import Question

@@ -184,7 +184,7 @@ def test_full_pipeline_equivalence_on_random_corpora():
             a = naive.answer(q.text, qid=q.qid)
             b = fast.answer(q.text, qid=q.qid)
             assert a.paragraph_ranks == b.paragraph_ranks
-            assert a.work == b.work  # incl. pr_postings / pr_doc_bytes
+            assert a.work == b.work  # incl. postings/doc-bytes counters
             assert (a.n_retrieved, a.n_accepted) == (b.n_retrieved, b.n_accepted)
             assert [
                 (x.text, x.short, x.long, x.score, x.paragraph_key, x.entity_type)
