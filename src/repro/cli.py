@@ -15,6 +15,14 @@ observe     traced SEND/ISEND/RECV workload with span export (Chrome
             trace + JSONL) and overhead attribution vs the Section 5
             model; fails if any export or the attribution sum invariant
             is invalid
+simbench    simulation-core benchmark: events/sec microbench (baseline
+            vs fast path, firing order asserted identical) plus serial
+            vs parallel runner/chaos wall-clock; writes
+            BENCH_simperf.json and fails on any determinism mismatch
+
+``chaos``, ``experiments`` (alias ``exp``) and ``simbench`` accept
+``--jobs N`` (or ``auto``) to run independent experiment cells on a
+process pool; parallel output is byte-identical to serial.
 """
 
 from __future__ import annotations
@@ -91,6 +99,7 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             strategies=strategies,
             fault_rates=args.fault_rates,
             seed=args.seed,
+            jobs=args.jobs,
             retry_budget=args.retry_budget,
             mean_downtime_s=args.mean_downtime,
             min_live_nodes=args.min_live,
@@ -184,7 +193,33 @@ def _cmd_observe(args: argparse.Namespace) -> None:
 def _cmd_experiments(args: argparse.Namespace) -> None:
     from .experiments.runner import run_all
 
-    run_all(args.names or None)
+    run_all(args.names or None, jobs=args.jobs)
+
+
+def _cmd_simbench(args: argparse.Namespace) -> None:
+    from .experiments.simbench import (
+        format_simperf,
+        run_simbench,
+        write_simperf_json,
+    )
+
+    try:
+        summary = run_simbench(
+            n_chains=args.chains,
+            chain_len=args.chain_len,
+            seed=args.seed,
+            sections=args.sections,
+            jobs=args.jobs,
+        )
+    except RuntimeError as exc:  # ordering divergence: hard failure
+        raise SystemExit(f"simbench FAILED: {exc}") from exc
+    print(format_simperf(summary))
+    out = write_simperf_json(summary, args.output)
+    print(f"wrote {out}")
+    if not summary["ok"]:
+        raise SystemExit(
+            "simbench FAILED: parallel output diverged from serial"
+        )
 
 
 def main(argv: t.Sequence[str] | None = None) -> None:
@@ -235,6 +270,11 @@ def main(argv: t.Sequence[str] | None = None) -> None:
     chaos.add_argument(
         "--min-live", type=int, default=2,
         help="schedules never drop the live node count below this",
+    )
+    chaos.add_argument(
+        "-j", "--jobs", default=None,
+        help="parallel cell workers (integer or 'auto'; default serial); "
+        "output is byte-identical to a serial run",
     )
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -297,10 +337,44 @@ def main(argv: t.Sequence[str] | None = None) -> None:
     observe.set_defaults(func=_cmd_observe)
 
     exp = sub.add_parser(
-        "experiments", help="regenerate the paper's tables and figures"
+        "experiments",
+        aliases=["exp"],
+        help="regenerate the paper's tables and figures",
     )
     exp.add_argument("names", nargs="*", help="subset (default: all)")
+    exp.add_argument(
+        "-j", "--jobs", default=None,
+        help="parallel section workers (integer or 'auto'; default serial)",
+    )
     exp.set_defaults(func=_cmd_experiments)
+
+    simbench = sub.add_parser(
+        "simbench",
+        help="simulation-core benchmark (event loop + parallel harness)",
+    )
+    simbench.add_argument(
+        "--chains", type=int, default=400,
+        help="microbench timeout-chain processes",
+    )
+    simbench.add_argument(
+        "--chain-len", type=int, default=50,
+        help="timeouts per chain",
+    )
+    simbench.add_argument("--seed", type=int, default=17)
+    simbench.add_argument(
+        "--sections", nargs="*",
+        default=["table4", "fig8", "fig9", "ablation-concurrency"],
+        help="runner sections for the wall-clock comparison",
+    )
+    simbench.add_argument(
+        "-j", "--jobs", default="auto",
+        help="parallel workers for the wall-clock runs (default: auto)",
+    )
+    simbench.add_argument(
+        "--output", default="BENCH_simperf.json",
+        help="where to write the JSON summary",
+    )
+    simbench.set_defaults(func=_cmd_simbench)
 
     args = parser.parse_args(argv)
     args.func(args)

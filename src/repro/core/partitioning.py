@@ -299,7 +299,7 @@ def run_sender_controlled(
                     f"rounds; {len(pending)} items unprocessed"
                 )
             rspan = None
-            if spans is not None:
+            if spans is not None and spans.enabled:
                 rspan = spans.begin(
                     "retry:round",
                     SpanCategory.RETRY,
@@ -379,7 +379,7 @@ def run_receiver_controlled(
                     f"rounds; {len(available)} chunks unprocessed"
                 )
             rspan = None
-            if spans is not None:
+            if spans is not None and spans.enabled:
                 rspan = spans.begin(
                     "retry:round",
                     SpanCategory.RETRY,

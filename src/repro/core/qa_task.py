@@ -264,7 +264,10 @@ class DistributedQATask:
         """Network transfer with overhead accounting (skipped when local)."""
         if src == dst or nbytes <= 0:
             return
-        span = self._spans.begin(
+        # Guard before building the f-string label/detail: transfers are a
+        # hot path and the disabled trace must not allocate.
+        spans = self._spans
+        span = spans.begin(
             f"xfer:{category}",
             SpanCategory.COMMS,
             self.profile.qid,
@@ -272,7 +275,7 @@ class DistributedQATask:
             self.system.env.now,
             parent=parent if parent is not None else self._root,
             detail=f"N{src} -> N{dst}",
-        )
+        ) if spans.enabled else None
         elapsed = yield from self.system.network.transfer(
             src, dst, nbytes, new_connection=new_connection
         )
@@ -383,7 +386,7 @@ class DistributedQATask:
                 env.now,
                 parent=span,
                 detail=f"-> N{target}",
-            )
+            ) if self._spans.enabled else None
             try:
                 yield from self.system.network.transfer(
                     self.host, target, self.profile.question_bytes
@@ -572,7 +575,7 @@ class DistributedQATask:
             env.now,
             parent=self._stage,
             detail=f"{len(items)}c",
-        )
+        ) if self._spans.enabled else None
         self.system.metrics.inc(PARTITION_CHUNKS)
         try:
             if remote:
@@ -593,7 +596,7 @@ class DistributedQATask:
                     env.now,
                     parent=chunk,
                     detail=f"c{coll.collection_id}",
-                )
+                ) if self._spans.enabled else None
                 t0 = env.now
                 yield from node.run_cost(coll.cost)
                 pr_compute[nid] = pr_compute.get(nid, 0.0) + (env.now - t0)
@@ -710,7 +713,7 @@ class DistributedQATask:
             env.now,
             parent=self._stage,
             detail=f"{len(items)}p",
-        )
+        ) if self._spans.enabled else None
         self.system.metrics.inc(PARTITION_CHUNKS)
         try:
             if remote:

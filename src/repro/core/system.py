@@ -75,6 +75,10 @@ class SystemConfig:
     gradient_balancing: bool = False
     gradient_interval_s: float = 0.5
     trace: bool = False
+    #: Collect counters/histograms in the system's metrics registry.
+    #: Leave on for reports and the observe pipeline; sweeps that only
+    #: read the WorkloadReport can turn it off for a free speedup.
+    collect_metrics: bool = True
     #: Bound on stored spans/events (None = unbounded); long chaos
     #: campaigns set this so the trace store cannot grow without limit.
     trace_max_events: int | None = None
@@ -207,7 +211,7 @@ class DistributedQASystem:
         #: One metrics registry per system: every subsystem records its
         #: counters/histograms here under the canonical names of
         #: :mod:`repro.observability.names`.
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(enabled=self.config.collect_metrics)
         #: Hierarchical span store; ``config.trace`` is the single switch
         #: for both the span trees and the flat Fig 7 view.
         self.spans = SpanStream(

@@ -26,6 +26,7 @@ from ..core import DistributedQASystem, Strategy, SystemConfig, TaskPolicy
 from ..core.node import NodeConfig
 from ..workload import high_load_count, staggered_arrivals, trec_mix_profiles
 from .context import complex_profiles
+from .parallel import run_cells
 from .report import TextTable
 
 __all__ = [
@@ -64,8 +65,19 @@ def _run_high_load(
     return float(np.mean(thr)), float(np.mean(resp))
 
 
+def _high_load_cell(
+    spec: tuple[str, SystemConfig, int, tuple[int, ...]]
+) -> AblationRow:
+    """Pool worker: one labelled high-load variant -> its ablation row."""
+    label, config, n_nodes, seeds = spec
+    thr, resp = _run_high_load(config, n_nodes, seeds)
+    return AblationRow(label, thr, resp)
+
+
 def run_dispatcher_ablation(
-    n_nodes: int = 8, seeds: t.Sequence[int] = (11, 23, 37)
+    n_nodes: int = 8,
+    seeds: t.Sequence[int] = (11, 23, 37),
+    jobs: int | str | None = None,
 ) -> list[AblationRow]:
     """Measure each scheduling point's contribution at high load."""
     variants: list[tuple[str, SystemConfig]] = [
@@ -83,11 +95,10 @@ def run_dispatcher_ablation(
                       policy=TaskPolicy(enable_partitioning=False))),
         ("DQA (full)", SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA)),
     ]
-    rows = []
-    for label, config in variants:
-        thr, resp = _run_high_load(config, n_nodes, seeds)
-        rows.append(AblationRow(label, thr, resp))
-    return rows
+    specs = [
+        (label, config, n_nodes, tuple(seeds)) for label, config in variants
+    ]
+    return run_cells(_high_load_cell, specs, jobs=jobs)
 
 
 def format_dispatcher_ablation(rows: t.Sequence[AblationRow]) -> str:
@@ -105,18 +116,23 @@ def run_concurrency_sweep(
     caps: t.Sequence[int] = (1, 2, 3, 4, 5, 6, 8),
     n_nodes: int = 4,
     seeds: t.Sequence[int] = (11, 23),
+    jobs: int | str | None = None,
 ) -> list[AblationRow]:
     """Section 4.2's simultaneous-question experiment, repeated in full."""
-    rows = []
-    for cap in caps:
-        config = SystemConfig(
-            n_nodes=n_nodes,
-            strategy=Strategy.DNS,
-            node=NodeConfig(max_concurrent_questions=cap),
+    specs = [
+        (
+            f"{cap} simultaneous",
+            SystemConfig(
+                n_nodes=n_nodes,
+                strategy=Strategy.DNS,
+                node=NodeConfig(max_concurrent_questions=cap),
+            ),
+            n_nodes,
+            tuple(seeds),
         )
-        thr, resp = _run_high_load(config, n_nodes, seeds)
-        rows.append(AblationRow(f"{cap} simultaneous", thr, resp))
-    return rows
+        for cap in caps
+    ]
+    return run_cells(_high_load_cell, specs, jobs=jobs)
 
 
 def format_concurrency_sweep(rows: t.Sequence[AblationRow]) -> str:
@@ -131,29 +147,36 @@ def format_concurrency_sweep(rows: t.Sequence[AblationRow]) -> str:
     return table.render()
 
 
+def _threshold_cell(
+    spec: tuple[float, int, tuple[int, ...]]
+) -> AblationRow:
+    """Pool worker: one migration-threshold setting -> its ablation row."""
+    th, n_nodes, seeds = spec
+    config = SystemConfig(n_nodes=n_nodes, strategy=Strategy.INTER)
+    n_q = high_load_count(n_nodes)
+    thr, resp = [], []
+    for seed in seeds:
+        profiles = trec_mix_profiles(n_q, seed=seed)
+        arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
+        system = DistributedQASystem(config)
+        system.question_dispatcher.migration_threshold = th
+        rep = system.run_workload(profiles, arrivals)
+        thr.append(rep.throughput_qpm)
+        resp.append(rep.mean_response_s)
+    return AblationRow(
+        f"threshold {th:.3f}", float(np.mean(thr)), float(np.mean(resp))
+    )
+
+
 def run_threshold_sweep(
     thresholds: t.Sequence[float] = (0.0, 0.334, 0.668, 1.336, 2.672),
     n_nodes: int = 8,
     seeds: t.Sequence[int] = (11, 23),
+    jobs: int | str | None = None,
 ) -> list[AblationRow]:
     """Vary the question dispatcher's useless-migration guard."""
-    rows = []
-    for th in thresholds:
-        config = SystemConfig(n_nodes=n_nodes, strategy=Strategy.INTER)
-        n_q = high_load_count(n_nodes)
-        thr, resp = [], []
-        for seed in seeds:
-            profiles = trec_mix_profiles(n_q, seed=seed)
-            arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
-            system = DistributedQASystem(config)
-            system.question_dispatcher.migration_threshold = th
-            rep = system.run_workload(profiles, arrivals)
-            thr.append(rep.throughput_qpm)
-            resp.append(rep.mean_response_s)
-        rows.append(
-            AblationRow(f"threshold {th:.3f}", float(np.mean(thr)), float(np.mean(resp)))
-        )
-    return rows
+    specs = [(th, n_nodes, tuple(seeds)) for th in thresholds]
+    return run_cells(_threshold_cell, specs, jobs=jobs)
 
 
 def format_threshold_sweep(rows: t.Sequence[AblationRow]) -> str:
@@ -172,6 +195,7 @@ def run_margin_sweep(
     n_nodes: int = 8,
     n_questions: int = 10,
     seed: int = 3,
+    jobs: int | str | None = None,
 ) -> list[tuple[float, float, float]]:
     """Under-load margin vs low-load response time and high-load throughput.
 
@@ -180,27 +204,33 @@ def run_margin_sweep(
     cutting individual latencies but risking throughput at load.
     """
     profiles = complex_profiles(n_questions, seed=seed)
-    out = []
-    for margin in margins:
-        policy = TaskPolicy(
-            pr_underload_margin=margin, ap_underload_margin=margin
+    specs = [(margin, n_nodes, tuple(profiles)) for margin in margins]
+    return run_cells(_margin_cell, specs, jobs=jobs)
+
+
+def _margin_cell(
+    spec: tuple[float, int, tuple[t.Any, ...]]
+) -> tuple[float, float, float]:
+    """Pool worker: one under-load margin -> (margin, response, throughput)."""
+    margin, n_nodes, profiles = spec
+    policy = TaskPolicy(
+        pr_underload_margin=margin, ap_underload_margin=margin
+    )
+    # Low load: questions one at a time.
+    resp = []
+    for prof in profiles:
+        system = DistributedQASystem(
+            SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA, policy=policy)
         )
-        # Low load: questions one at a time.
-        resp = []
-        for prof in profiles:
-            system = DistributedQASystem(
-                SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA, policy=policy)
-            )
-            rep = system.run_workload([prof])
-            resp.append(rep.results[0].response_time)
-        # High load.
-        thr, _ = _run_high_load(
-            SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA, policy=policy),
-            n_nodes,
-            seeds=(11,),
-        )
-        out.append((margin, float(np.mean(resp)), thr))
-    return out
+        rep = system.run_workload([prof])
+        resp.append(rep.results[0].response_time)
+    # High load.
+    thr, _ = _run_high_load(
+        SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA, policy=policy),
+        n_nodes,
+        seeds=(11,),
+    )
+    return (margin, float(np.mean(resp)), thr)
 
 
 def format_margin_sweep(rows: t.Sequence[tuple[float, float, float]]) -> str:

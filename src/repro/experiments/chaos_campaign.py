@@ -42,6 +42,7 @@ from ..workload import (
     staggered_arrivals,
     trec_mix_profiles,
 )
+from .parallel import run_cells
 from .report import TextTable
 
 __all__ = [
@@ -118,10 +119,19 @@ def run_campaign_cell(
     min_live_nodes: int = 2,
     horizon_s: float = 900.0,
     trace: bool = False,
+    profiles: t.Sequence[t.Any] | None = None,
+    arrivals: t.Sequence[float] | None = None,
 ) -> tuple[CampaignCell, DistributedQASystem]:
-    """Run one cell; returns the cell plus the (finished) system."""
-    profiles = trec_mix_profiles(n_questions, seed=seed)
-    arrivals = staggered_arrivals(n_questions, stagger_s, seed=seed)
+    """Run one cell; returns the cell plus the (finished) system.
+
+    ``profiles``/``arrivals`` let a sweep build the (cell-invariant)
+    workload once and share it across cells; omitted, they are derived
+    from ``seed`` exactly as the sweep would.
+    """
+    if profiles is None:
+        profiles = trec_mix_profiles(n_questions, seed=seed)
+    if arrivals is None:
+        arrivals = staggered_arrivals(n_questions, stagger_s, seed=seed)
     policy = TaskPolicy(
         pr_strategy=strategy,
         ap_strategy=strategy,
@@ -166,37 +176,65 @@ def run_campaign_cell(
     return cell, system
 
 
+def _cell_worker(
+    spec: tuple[str, float, dict[str, t.Any]]
+) -> CampaignCell:
+    """Process-pool entry point: run one (strategy, fault-rate) cell.
+
+    Takes a picklable spec (the strategy travels by name) and drops the
+    finished system — only the cell summary crosses the process
+    boundary.
+    """
+    strategy_name, fault_rate, kwargs = spec
+    cell, _ = run_campaign_cell(
+        PartitioningStrategy[strategy_name], fault_rate, **kwargs
+    )
+    return cell
+
+
 def run_campaign(
     n_nodes: int = 6,
     n_questions: int = 12,
     strategies: t.Sequence[PartitioningStrategy] = tuple(PartitioningStrategy),
     fault_rates: t.Sequence[float] = (0.0, 1.0 / 400.0, 1.0 / 150.0),
     seed: int = 11,
+    jobs: int | str | None = None,
     **cell_kwargs: t.Any,
 ) -> list[CampaignCell]:
     """Sweep fault rates against strategies; every cell must balance.
+
+    The workload (profiles + arrival schedule) depends only on the
+    campaign seed, so it is built once here and shared by every cell
+    instead of being regenerated per (strategy, fault-rate) pair.  With
+    ``jobs`` > 1 the independent cells run on a process pool; results
+    are merged in grid order, so the returned list — and any report
+    formatted from it — is byte-identical to a serial run.
 
     Raises :class:`RuntimeError` if any cell loses track of a question
     (completed + lost + in-flight != admitted) — the campaign's core
     safety assertion, not just a reported number.
     """
-    cells: list[CampaignCell] = []
-    for fault_rate in fault_rates:
-        for strategy in strategies:
-            cell, _ = run_campaign_cell(
-                strategy,
-                fault_rate,
-                n_nodes=n_nodes,
-                n_questions=n_questions,
-                seed=seed,
-                **cell_kwargs,
+    stagger_s = cell_kwargs.get("stagger_s", 2.0)
+    shared = dict(
+        cell_kwargs,
+        n_nodes=n_nodes,
+        n_questions=n_questions,
+        seed=seed,
+        profiles=trec_mix_profiles(n_questions, seed=seed),
+        arrivals=staggered_arrivals(n_questions, stagger_s, seed=seed),
+    )
+    specs = [
+        (strategy.name, fault_rate, shared)
+        for fault_rate in fault_rates
+        for strategy in strategies
+    ]
+    cells = run_cells(_cell_worker, specs, jobs=jobs)
+    for cell in cells:
+        if not cell.accounting.balanced:
+            raise RuntimeError(
+                f"unaccounted questions in cell {cell.strategy} @ "
+                f"rate {cell.fault_rate}: {cell.accounting}"
             )
-            if not cell.accounting.balanced:
-                raise RuntimeError(
-                    f"unaccounted questions in cell {strategy.value} @ "
-                    f"rate {fault_rate}: {cell.accounting}"
-                )
-            cells.append(cell)
     return cells
 
 

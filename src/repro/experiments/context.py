@@ -4,13 +4,38 @@ Builds (and memoizes per process) the moderately expensive shared
 artefacts — the generated corpus, its indexes, the Q/A pipeline, and the
 real-pipeline question profiles — so that every benchmark does not pay
 corpus generation again.
+
+Two cache layers sit under :func:`build_context`:
+
+* an in-process ``lru_cache`` keyed by the (hashable, frozen)
+  :class:`~repro.corpus.CorpusConfig`, so repeated builds within one
+  process — including every parallel worker, which inherits the parent's
+  warm cache under a fork start method — are free;
+* an on-disk corpus artifact cache keyed by :func:`corpus_cache_key`
+  (a hash of the config repr plus a format version), so no process ever
+  regenerates an identical corpus.  Only the raw corpus is stored:
+  unpickling it is ~100x faster than regenerating, whereas the inverted
+  index unpickles no faster than it rebuilds, so indexes are always
+  constructed fresh from the (cached) corpus.
+
+The disk cache is best-effort and self-healing: a missing directory,
+corrupt pickle, or version mismatch silently falls back to regeneration,
+and writes are atomic (``os.replace`` of a per-pid temp file) so parallel
+workers racing on a cold cache cannot observe torn files.  Set the
+``REPRO_CACHE_DIR`` environment variable to relocate it, or to the empty
+string to disable it.
 """
 
 from __future__ import annotations
 
 import functools
+import hashlib
+import os
+import pickle
+import tempfile
 import typing as t
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..corpus import (
     Corpus,
@@ -30,7 +55,17 @@ from ..qa import (
 )
 from ..retrieval import IndexedCorpus
 
-__all__ = ["ExperimentContext", "default_context", "complex_profiles"]
+__all__ = [
+    "ExperimentContext",
+    "build_context",
+    "corpus_cache_key",
+    "default_context",
+    "load_or_generate_corpus",
+    "complex_profiles",
+]
+
+#: Bump when the pickled corpus layout changes; stale entries are ignored.
+_CACHE_FORMAT = 1
 
 
 @dataclass(slots=True)
@@ -56,17 +91,86 @@ class ExperimentContext:
         return out
 
 
-@functools.lru_cache(maxsize=2)
-def default_context(seed: int = 42) -> ExperimentContext:
-    """The memoized default experiment context."""
-    corpus = generate_corpus(CorpusConfig(seed=seed))
+# -- on-disk corpus artifact cache ---------------------------------------------
+def corpus_cache_key(config: CorpusConfig) -> str:
+    """Stable cache key for a corpus config (hash of repr + format version).
+
+    ``CorpusConfig`` is a frozen dataclass, so its repr enumerates every
+    generation knob; two configs share a key iff they generate identical
+    corpora.
+    """
+    payload = f"repro-corpus-v{_CACHE_FORMAT}:{config!r}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def corpus_cache_dir() -> Path | None:
+    """The artifact cache directory, or None when caching is disabled.
+
+    ``REPRO_CACHE_DIR`` overrides the default (a ``repro-cache`` folder
+    under the system temp dir); setting it to the empty string disables
+    the disk cache entirely.
+    """
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root == "":
+        return None
+    if root is None:
+        root = os.path.join(tempfile.gettempdir(), "repro-cache")
+    return Path(root)
+
+
+def load_or_generate_corpus(config: CorpusConfig) -> Corpus:
+    """Return the corpus for ``config``, via the disk cache when possible."""
+    directory = corpus_cache_dir()
+    if directory is None:
+        return generate_corpus(config)
+    path = directory / f"corpus-{corpus_cache_key(config)}.pkl"
+    try:
+        with open(path, "rb") as fh:
+            cached = pickle.load(fh)
+        if isinstance(cached, Corpus):
+            return cached
+    except FileNotFoundError:
+        pass
+    except Exception:
+        # Corrupt or unreadable entry: drop it and regenerate.
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+    corpus = generate_corpus(config)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / f".corpus-{corpus_cache_key(config)}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(corpus, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # cache is best-effort; the generated corpus is still good
+    return corpus
+
+
+# -- context construction -------------------------------------------------------
+@functools.lru_cache(maxsize=4)
+def build_context(
+    config: CorpusConfig, max_questions: int | None = None
+) -> ExperimentContext:
+    """Build (or recall) the full experiment context for ``config``.
+
+    Memoized per process; the corpus itself additionally comes from the
+    on-disk artifact cache, so a cold process pays only index
+    construction.
+    """
+    corpus = load_or_generate_corpus(config)
     indexed = IndexedCorpus(corpus)
     recognizer = EntityRecognizer(
         corpus.knowledge.gazetteer(),
         extra_nationalities=corpus.knowledge.nationalities,
     )
     pipeline = QAPipeline(indexed, recognizer)
-    questions = generate_questions(corpus)
+    if max_questions is None:
+        questions = generate_questions(corpus)
+    else:
+        questions = generate_questions(corpus, max_questions=max_questions)
     return ExperimentContext(
         corpus=corpus,
         indexed=indexed,
@@ -75,6 +179,11 @@ def default_context(seed: int = 42) -> ExperimentContext:
         questions=questions,
         model=CostModel.default(),
     )
+
+
+def default_context(seed: int = 42) -> ExperimentContext:
+    """The memoized default experiment context."""
+    return build_context(CorpusConfig(seed=seed))
 
 
 def complex_profiles(n: int, seed: int = 3) -> list[QuestionProfile]:

@@ -26,6 +26,7 @@ from ..core import (
 )
 from ..model import ModelParameters, bandwidth_bps, question_speedup, system_speedup
 from .context import complex_profiles
+from .parallel import run_cells
 from .report import format_series
 
 __all__ = [
@@ -55,20 +56,35 @@ def run_fig7_trace(
     return header + "\n" + render_trace(system.tracer.events)
 
 
+def _speedup_series(
+    spec: tuple[str, float | None, float | None, ModelParameters, tuple[int, ...]]
+) -> list[tuple[float, float]]:
+    """Pool worker: one analytic speedup curve (system or question).
+
+    ``b_net``/``b_disk`` are bits/second overrides (None keeps the
+    parameter set's value).
+    """
+    kind, b_net, b_disk, params, ns = spec
+    p = params.with_bandwidths(b_net=b_net, b_disk=b_disk)
+    fn = system_speedup if kind == "system" else question_speedup
+    return [(float(n), fn(p, n)) for n in ns]
+
+
 def run_fig8(
     net_labels: t.Sequence[str] = ("10 Mbps", "100 Mbps", "1 Gbps"),
     max_n: int = 1000,
     step: int = 50,
     params: ModelParameters | None = None,
+    jobs: int | str | None = None,
 ) -> dict[str, list[tuple[float, float]]]:
     """Figure 8(a): analytical system speedup vs processor count."""
     params = params or ModelParameters()
-    ns = list(range(1, max_n + 1, step)) + [max_n]
-    series: dict[str, list[tuple[float, float]]] = {}
-    for label in net_labels:
-        p = params.with_bandwidths(b_net=bandwidth_bps(label))
-        series[label] = [(float(n), system_speedup(p, n)) for n in sorted(set(ns))]
-    return series
+    ns = tuple(sorted(set(list(range(1, max_n + 1, step)) + [max_n])))
+    specs = [
+        ("system", bandwidth_bps(label), None, params, ns)
+        for label in net_labels
+    ]
+    return dict(zip(net_labels, run_cells(_speedup_series, specs, jobs=jobs)))
 
 
 def format_fig8(series: dict[str, list[tuple[float, float]]]) -> str:
@@ -91,6 +107,7 @@ def run_fig9(
     params: ModelParameters | None = None,
     max_n: int = 200,
     step: int = 10,
+    jobs: int | str | None = None,
 ) -> tuple[dict[str, list[tuple[float, float]]], dict[str, list[tuple[float, float]]]]:
     """Figure 9: question speedup curves.
 
@@ -99,21 +116,21 @@ def run_fig9(
     100 Mbps..1 Gbps.
     """
     params = params or ModelParameters()
-    ns = sorted(set(list(range(1, max_n + 1, step)) + [max_n]))
+    ns = tuple(sorted(set(list(range(1, max_n + 1, step)) + [max_n])))
 
-    panel_a: dict[str, list[tuple[float, float]]] = {}
-    for label in ("1 Mbps", "10 Mbps", "100 Mbps", "1 Gbps"):
-        p = params.with_bandwidths(
-            b_net=bandwidth_bps(label), b_disk=bandwidth_bps("1 Gbps")
-        )
-        panel_a[label] = [(float(n), question_speedup(p, n)) for n in ns]
-
-    panel_b: dict[str, list[tuple[float, float]]] = {}
-    for label in ("100 Mbps", "250 Mbps", "500 Mbps", "1 Gbps"):
-        p = params.with_bandwidths(
-            b_net=bandwidth_bps("1 Gbps"), b_disk=bandwidth_bps(label)
-        )
-        panel_b[label] = [(float(n), question_speedup(p, n)) for n in ns]
+    a_labels = ("1 Mbps", "10 Mbps", "100 Mbps", "1 Gbps")
+    b_labels = ("100 Mbps", "250 Mbps", "500 Mbps", "1 Gbps")
+    gbps = bandwidth_bps("1 Gbps")
+    specs = [
+        ("question", bandwidth_bps(label), gbps, params, ns)
+        for label in a_labels
+    ] + [
+        ("question", gbps, bandwidth_bps(label), params, ns)
+        for label in b_labels
+    ]
+    curves = run_cells(_speedup_series, specs, jobs=jobs)
+    panel_a = dict(zip(a_labels, curves[: len(a_labels)]))
+    panel_b = dict(zip(b_labels, curves[len(a_labels) :]))
     return panel_a, panel_b
 
 

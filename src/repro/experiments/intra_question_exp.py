@@ -23,6 +23,7 @@ from ..core import DistributedQASystem, Strategy, SystemConfig
 from ..model import ModelParameters, question_speedup
 from ..qa.profiles import QuestionProfile
 from .context import complex_profiles
+from .parallel import run_cells
 from .report import TextTable
 
 __all__ = [
@@ -64,48 +65,66 @@ class IntraRow:
     analytical_speedup: float = 0.0
 
 
+def _intra_cell(
+    spec: tuple[int, tuple[QuestionProfile, ...]]
+) -> IntraRow:
+    """Pool worker: one cluster size's low-load measurements.
+
+    The speedup fields stay 0 here — they relate rows to each other
+    (measured against the first row's response), so the sweep fills them
+    in after the ordered merge.
+    """
+    n_nodes, profiles = spec
+    module_acc: dict[str, list[float]] = {
+        k: [] for k in ("QP", "PR", "PS", "PO", "AP")
+    }
+    overhead_acc: dict[str, list[float]] = {}
+    responses: list[float] = []
+    for prof in profiles:
+        system = DistributedQASystem(
+            SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA)
+        )
+        rep = system.run_workload([prof])
+        r = rep.results[0]
+        for k in module_acc:
+            module_acc[k].append(r.module_times[k])
+        for k, v in r.overhead.items():
+            overhead_acc.setdefault(k, []).append(v)
+        responses.append(r.response_time)
+    return IntraRow(
+        n_nodes=n_nodes,
+        module_times={k: float(np.mean(v)) for k, v in module_acc.items()},
+        response_s=float(np.mean(responses)),
+        overhead={k: float(np.mean(v)) for k, v in overhead_acc.items()},
+    )
+
+
 def run_intra_question(
     node_counts: t.Sequence[int] = (1, 4, 8, 12),
     n_questions: int = 20,
     seed: int = 3,
     profiles: t.Sequence[QuestionProfile] | None = None,
     params: ModelParameters | None = None,
+    jobs: int | str | None = None,
 ) -> list[IntraRow]:
-    """Execute complex questions one at a time per cluster size."""
-    profiles = list(profiles or complex_profiles(n_questions, seed=seed))
+    """Execute complex questions one at a time per cluster size.
+
+    Each cluster size is an independent cell; the cross-row speedup
+    ratios are computed after the (ordered) merge, so parallel runs
+    produce the same rows as serial ones.
+    """
+    profiles = tuple(profiles or complex_profiles(n_questions, seed=seed))
     params = params or ModelParameters()
-    rows: list[IntraRow] = []
+    specs = [(n_nodes, profiles) for n_nodes in node_counts]
+    rows = run_cells(_intra_cell, specs, jobs=jobs)
     base_response: float | None = None
-    for n_nodes in node_counts:
-        module_acc: dict[str, list[float]] = {
-            k: [] for k in ("QP", "PR", "PS", "PO", "AP")
-        }
-        overhead_acc: dict[str, list[float]] = {}
-        responses: list[float] = []
-        for prof in profiles:
-            system = DistributedQASystem(
-                SystemConfig(n_nodes=n_nodes, strategy=Strategy.DQA)
-            )
-            rep = system.run_workload([prof])
-            r = rep.results[0]
-            for k in module_acc:
-                module_acc[k].append(r.module_times[k])
-            for k, v in r.overhead.items():
-                overhead_acc.setdefault(k, []).append(v)
-            responses.append(r.response_time)
-        row = IntraRow(
-            n_nodes=n_nodes,
-            module_times={k: float(np.mean(v)) for k, v in module_acc.items()},
-            response_s=float(np.mean(responses)),
-            overhead={k: float(np.mean(v)) for k, v in overhead_acc.items()},
-        )
+    for row in rows:
         if base_response is None:
             base_response = row.response_s
         row.measured_speedup = base_response / row.response_s
         row.analytical_speedup = (
-            1.0 if n_nodes == 1 else question_speedup(params, n_nodes)
+            1.0 if row.n_nodes == 1 else question_speedup(params, row.n_nodes)
         )
-        rows.append(row)
     return rows
 
 

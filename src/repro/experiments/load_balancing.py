@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core import DistributedQASystem, Strategy, SystemConfig
 from ..workload import high_load_count, staggered_arrivals, trec_mix_profiles
+from .parallel import run_cells
 from .report import TextTable
 
 __all__ = ["LoadBalancingCell", "run_load_balancing", "format_tables_5_6_7"]
@@ -62,43 +63,56 @@ class LoadBalancingCell:
     migrations_ap: float
 
 
+def _lb_cell(
+    spec: tuple[int, str, tuple[int, ...], float]
+) -> LoadBalancingCell:
+    """Pool worker: one (node count, strategy) cell, averaged over seeds."""
+    n_nodes, strategy_name, seeds, sigma = spec
+    strategy = Strategy[strategy_name]
+    n_q = high_load_count(n_nodes)
+    thr, resp, soj, mqa, mpr, map_ = [], [], [], [], [], []
+    for seed in seeds:
+        profiles = trec_mix_profiles(n_q, seed=seed, sigma=sigma)
+        arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
+        system = DistributedQASystem(
+            SystemConfig(n_nodes=n_nodes, strategy=strategy, seed=seed)
+        )
+        rep = system.run_workload(profiles, arrivals)
+        thr.append(rep.throughput_qpm)
+        resp.append(rep.mean_response_s)
+        soj.append(rep.mean_sojourn_s)
+        mqa.append(rep.migrations_qa)
+        mpr.append(rep.migrations_pr)
+        map_.append(rep.migrations_ap)
+    return LoadBalancingCell(
+        n_nodes=n_nodes,
+        strategy=strategy.value,
+        throughput_qpm=float(np.mean(thr)),
+        mean_response_s=float(np.mean(resp)),
+        mean_sojourn_s=float(np.mean(soj)),
+        migrations_qa=float(np.mean(mqa)),
+        migrations_pr=float(np.mean(mpr)),
+        migrations_ap=float(np.mean(map_)),
+    )
+
+
 def run_load_balancing(
     node_counts: t.Sequence[int] = (4, 8, 12),
     seeds: t.Sequence[int] = (11, 23, 37),
     sigma: float = 0.55,
+    jobs: int | str | None = None,
 ) -> list[LoadBalancingCell]:
-    """Run the full three-strategy comparison."""
-    cells: list[LoadBalancingCell] = []
-    for n_nodes in node_counts:
-        n_q = high_load_count(n_nodes)
-        for strategy in (Strategy.DNS, Strategy.INTER, Strategy.DQA):
-            thr, resp, soj, mqa, mpr, map_ = [], [], [], [], [], []
-            for seed in seeds:
-                profiles = trec_mix_profiles(n_q, seed=seed, sigma=sigma)
-                arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
-                system = DistributedQASystem(
-                    SystemConfig(n_nodes=n_nodes, strategy=strategy, seed=seed)
-                )
-                rep = system.run_workload(profiles, arrivals)
-                thr.append(rep.throughput_qpm)
-                resp.append(rep.mean_response_s)
-                soj.append(rep.mean_sojourn_s)
-                mqa.append(rep.migrations_qa)
-                mpr.append(rep.migrations_pr)
-                map_.append(rep.migrations_ap)
-            cells.append(
-                LoadBalancingCell(
-                    n_nodes=n_nodes,
-                    strategy=strategy.value,
-                    throughput_qpm=float(np.mean(thr)),
-                    mean_response_s=float(np.mean(resp)),
-                    mean_sojourn_s=float(np.mean(soj)),
-                    migrations_qa=float(np.mean(mqa)),
-                    migrations_pr=float(np.mean(mpr)),
-                    migrations_ap=float(np.mean(map_)),
-                )
-            )
-    return cells
+    """Run the full three-strategy comparison.
+
+    The nine (N, strategy) cells are independent simulations; with
+    ``jobs`` > 1 they run on a process pool and merge in grid order.
+    """
+    specs = [
+        (n_nodes, strategy.name, tuple(seeds), sigma)
+        for n_nodes in node_counts
+        for strategy in (Strategy.DNS, Strategy.INTER, Strategy.DQA)
+    ]
+    return run_cells(_lb_cell, specs, jobs=jobs)
 
 
 def format_tables_5_6_7(cells: t.Sequence[LoadBalancingCell]) -> str:

@@ -25,6 +25,7 @@ from ..core import (
 )
 from ..qa.profiles import QuestionProfile
 from .context import complex_profiles
+from .parallel import run_cells
 from .report import TextTable, format_series
 
 __all__ = [
@@ -84,24 +85,40 @@ class Table11Row:
     recv: float
 
 
+def _ap_time_cell(
+    spec: tuple[int, str, tuple[QuestionProfile, ...], int]
+) -> float:
+    """Pool worker: mean AP time for one (nodes, strategy, chunk) cell."""
+    n_nodes, strategy_name, profiles, chunk = spec
+    return _mean_ap_time(
+        n_nodes, profiles, PartitioningStrategy[strategy_name], chunk
+    )
+
+
 def run_table11(
     node_counts: t.Sequence[int] = (4, 8, 12),
     n_questions: int = 15,
     seed: int = 3,
+    jobs: int | str | None = None,
 ) -> list[Table11Row]:
-    """Measure SEND/ISEND/RECV answer-processing speedups (Table 11)."""
-    profiles = complex_profiles(n_questions, seed=seed)
+    """Measure SEND/ISEND/RECV answer-processing speedups (Table 11).
+
+    The 1-node baseline is a single deterministic measurement, so it is
+    computed once and shared by every row (the old per-row recompute
+    produced the identical number three times); the (N, strategy) grid
+    then runs as independent cells, in parallel when ``jobs`` > 1.
+    """
+    profiles = tuple(complex_profiles(n_questions, seed=seed))
+    strategy_names = ("SEND", "ISEND", "RECV")
+    specs = [(1, "RECV", profiles, 40)] + [
+        (n, s, profiles, 40) for n in node_counts for s in strategy_names
+    ]
+    times = run_cells(_ap_time_cell, specs, jobs=jobs)
+    base = times[0]
+    grid = iter(times[1:])
     rows = []
     for n in node_counts:
-        sp = ap_speedups(
-            n,
-            profiles,
-            (
-                PartitioningStrategy.SEND,
-                PartitioningStrategy.ISEND,
-                PartitioningStrategy.RECV,
-            ),
-        )
+        sp = {s: base / next(grid) for s in strategy_names}
         rows.append(
             Table11Row(n_nodes=n, send=sp["SEND"], isend=sp["ISEND"], recv=sp["RECV"])
         )
@@ -128,17 +145,23 @@ def run_fig10(
     node_counts: t.Sequence[int] = (4, 8),
     n_questions: int = 12,
     seed: int = 3,
+    jobs: int | str | None = None,
 ) -> dict[str, list[tuple[float, float]]]:
     """RECV AP speedup vs chunk size (Figure 10's two curves)."""
-    profiles = complex_profiles(n_questions, seed=seed)
-    base = _mean_ap_time(1, profiles, PartitioningStrategy.RECV)
+    profiles = tuple(complex_profiles(n_questions, seed=seed))
+    specs = [(1, "RECV", profiles, 40)] + [
+        (n, "RECV", profiles, chunk)
+        for n in node_counts
+        for chunk in chunk_sizes
+    ]
+    times = run_cells(_ap_time_cell, specs, jobs=jobs)
+    base = times[0]
+    grid = iter(times[1:])
     series: dict[str, list[tuple[float, float]]] = {}
     for n in node_counts:
-        pts = []
-        for chunk in chunk_sizes:
-            ap = _mean_ap_time(n, profiles, PartitioningStrategy.RECV, chunk)
-            pts.append((float(chunk), base / ap))
-        series[f"{n} processors"] = pts
+        series[f"{n} processors"] = [
+            (float(chunk), base / next(grid)) for chunk in chunk_sizes
+        ]
     return series
 
 

@@ -43,7 +43,9 @@ from .table2_module_analysis import format_table2, run_table2
 from .table3_resource_weights import format_table3, run_table3
 from .table4_upper_limits import format_table4, run_table4
 
-__all__ = ["run_all", "EXPERIMENTS"]
+from .parallel import run_cells
+
+__all__ = ["run_all", "run_experiment", "EXPERIMENTS"]
 
 #: name -> callable returning the rendered report section.
 EXPERIMENTS: dict[str, t.Callable[[], str]] = {
@@ -139,23 +141,50 @@ def _tables_8_9_10() -> str:
     )
 
 
+def run_experiment(name: str) -> str:
+    """Render one experiment section (module-level: a valid pool worker)."""
+    return EXPERIMENTS[name]()
+
+
 def run_all(
     only: t.Sequence[str] | None = None,
     stream: t.TextIO | None = None,
+    jobs: int | str | None = None,
 ) -> None:
-    """Run (a subset of) the experiments, printing each section."""
+    """Run (a subset of) the experiments, printing each section.
+
+    With ``jobs`` > 1 the sections run on a process pool and are merged
+    back in request order, so the report written to ``stream`` is
+    byte-identical to a serial run.  Wall-clock timings go to stderr —
+    they vary run to run and must not perturb the report itself.
+    """
     if stream is None:
         stream = sys.stdout  # resolved at call time (test capture works)
     names = list(only) if only else list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
-    for name in names:
-        t0 = time.perf_counter()
-        section = EXPERIMENTS[name]()
-        dt = time.perf_counter() - t0
-        print(f"\n### {name} ({dt:.1f}s wall)\n", file=stream)
-        print(section, file=stream)
+    t_start = time.perf_counter()
+    from .parallel import resolve_jobs
+
+    if resolve_jobs(jobs) <= 1:
+        # Serial: print each section as soon as it is ready.
+        for name in names:
+            t0 = time.perf_counter()
+            section = run_experiment(name)
+            dt = time.perf_counter() - t0
+            print(f"\n### {name}\n", file=stream)
+            print(section, file=stream)
+            print(f"[runner] {name}: {dt:.1f}s", file=sys.stderr)
+    else:
+        for name, section in zip(names, run_cells(run_experiment, names, jobs=jobs)):
+            print(f"\n### {name}\n", file=stream)
+            print(section, file=stream)
+    print(
+        f"[runner] {len(names)} section(s) in "
+        f"{time.perf_counter() - t_start:.1f}s wall",
+        file=sys.stderr,
+    )
 
 
 def main(argv: t.Sequence[str] | None = None) -> None:
@@ -170,6 +199,11 @@ def main(argv: t.Sequence[str] | None = None) -> None:
         "-o", "--output",
         help="also write the report to this file",
     )
+    parser.add_argument(
+        "-j", "--jobs", default=None,
+        help="parallel workers (an integer, or 'auto' for one per CPU); "
+        "output is byte-identical to a serial run",
+    )
     args = parser.parse_args(argv)
     if args.output:
         import io
@@ -181,11 +215,15 @@ def main(argv: t.Sequence[str] | None = None) -> None:
                 sys.stdout.write(text)
                 return buffer.write(text)
 
-        run_all(args.experiments or None, stream=t.cast(t.TextIO, _Tee()))
+        run_all(
+            args.experiments or None,
+            stream=t.cast(t.TextIO, _Tee()),
+            jobs=args.jobs,
+        )
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(buffer.getvalue())
     else:
-        run_all(args.experiments or None)
+        run_all(args.experiments or None, jobs=args.jobs)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,274 @@
+"""Simulation-core benchmark: events/sec microbench + parallel wall-clock.
+
+Three measurements, written together to ``BENCH_simperf.json`` by
+``python -m repro simbench``:
+
+* **Event-loop microbench** — a seeded population of generator processes
+  yielding pseudo-random timeout chains, executed twice over identical
+  schedules: once through the *baseline* cost model (the public
+  :meth:`~repro.simulation.engine.Environment.step` dispatched once per
+  event, with an eagerly formatted per-timeout label — the costs the
+  hot-path rewrite removed) and once through the *fast path*
+  (:meth:`~repro.simulation.engine.Environment.run`'s inlined drain loop
+  with lazy timeout names).  The two runs must fire every event in
+  exactly the same order — the benchmark hard-fails otherwise — so the
+  reported speedup is attributable to overhead, not to schedule drift.
+* **Runner wall-clock** — a subset of `experiments.runner` sections run
+  serially and with a process pool, asserting byte-identical reports.
+* **Chaos wall-clock** — the chaos campaign grid, serial versus pooled,
+  asserting cell-identical results.
+
+On a single-CPU host the parallel measurements legitimately show ~1x;
+``cpu_count`` is recorded so readers can interpret the ratio.  The
+determinism verdicts are machine-independent.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import random
+import time
+import typing as t
+
+from ..simulation.engine import EmptySchedule, Environment
+from ..simulation.events import Timeout
+from .parallel import resolve_jobs
+
+__all__ = [
+    "run_event_microbench",
+    "run_runner_wallclock",
+    "run_chaos_wallclock",
+    "run_simbench",
+    "format_simperf",
+    "write_simperf_json",
+]
+
+#: Default runner sections for the wall-clock comparison: cheap enough
+#: for CI smoke, heavy enough that the pool has real work per section.
+DEFAULT_SECTIONS = ("table4", "fig8", "fig9", "ablation-concurrency")
+
+
+# -- event-loop microbench ------------------------------------------------------
+def _build_workload(
+    env: Environment,
+    n_chains: int,
+    chain_len: int,
+    seed: int,
+    record: list[tuple[int, int, float]],
+    eager_names: bool,
+) -> None:
+    """Start ``n_chains`` timeout-chain processes on ``env``.
+
+    Every chain appends ``(chain id, hop, now)`` to ``record`` after each
+    timeout fires, which is the firing-order fingerprint the equivalence
+    check compares.  ``eager_names`` reproduces the pre-rewrite cost of
+    formatting a label per timeout.
+    """
+    rng = random.Random(seed)
+    delays = [
+        [rng.random() * 10.0 for _ in range(chain_len)]
+        for _ in range(n_chains)
+    ]
+
+    def chain(
+        cid: int, ds: list[float]
+    ) -> t.Generator[Timeout, object, None]:
+        for hop, d in enumerate(ds):
+            if eager_names:
+                yield Timeout(env, d, name=f"timeout({d:.6g})")
+            else:
+                yield env.timeout(d)
+            record.append((cid, hop, env.now))
+
+    for cid, ds in enumerate(delays):
+        env.process(chain(cid, ds), name=f"chain[{cid}]")
+
+
+def _drive_step(env: Environment) -> None:
+    """Baseline driver: one public ``step()`` dispatch per event."""
+    while True:
+        try:
+            env.step()
+        except EmptySchedule:
+            break
+
+
+def run_event_microbench(
+    n_chains: int = 400,
+    chain_len: int = 50,
+    seed: int = 17,
+    repeats: int = 3,
+) -> dict[str, t.Any]:
+    """Time the baseline event loop against the fast path.
+
+    Raises :class:`RuntimeError` if the two drivers fire events in a
+    different order — the speedup is only meaningful over an identical
+    schedule.
+    """
+
+    def measure(eager: bool, drive: t.Callable[[Environment], None]):
+        best = float("inf")
+        record: list[tuple[int, int, float]] = []
+        events = 0
+        for _ in range(repeats):
+            record = []
+            env = Environment()
+            _build_workload(env, n_chains, chain_len, seed, record, eager)
+            t0 = time.perf_counter()
+            drive(env)
+            best = min(best, time.perf_counter() - t0)
+            events = next(env._seq)  # total events scheduled
+        return best, events, record
+
+    baseline_s, n_events, baseline_order = measure(True, _drive_step)
+    fast_s, fast_events, fast_order = measure(False, lambda env: env.run())
+    if baseline_order != fast_order:
+        raise RuntimeError(
+            "event microbench: fast path fired events in a different "
+            "order than the baseline step() loop"
+        )
+    if n_events != fast_events:
+        raise RuntimeError(
+            f"event microbench: event counts diverged "
+            f"({n_events} baseline vs {fast_events} fast)"
+        )
+    return {
+        "chains": n_chains,
+        "chain_len": chain_len,
+        "events": n_events,
+        "baseline": {
+            "elapsed_s": baseline_s,
+            "events_per_s": n_events / baseline_s,
+        },
+        "fast": {
+            "elapsed_s": fast_s,
+            "events_per_s": n_events / fast_s,
+        },
+        "speedup": baseline_s / fast_s,
+        "ordering_identical": True,
+    }
+
+
+# -- experiment-harness wall-clock ----------------------------------------------
+def run_runner_wallclock(
+    sections: t.Sequence[str] = DEFAULT_SECTIONS,
+    jobs: int | str | None = "auto",
+) -> dict[str, t.Any]:
+    """Time a runner subset serial vs parallel; reports must match."""
+    from .runner import run_all
+
+    n_jobs = resolve_jobs(jobs)
+
+    def render(j: int) -> tuple[str, float]:
+        buf = io.StringIO()
+        t0 = time.perf_counter()
+        run_all(list(sections), stream=buf, jobs=j)
+        return buf.getvalue(), time.perf_counter() - t0
+
+    serial_report, serial_s = render(1)
+    parallel_report, parallel_s = render(n_jobs)
+    return {
+        "sections": list(sections),
+        "jobs": n_jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "identical": serial_report == parallel_report,
+    }
+
+
+def run_chaos_wallclock(
+    jobs: int | str | None = "auto",
+    n_nodes: int = 6,
+    n_questions: int = 12,
+) -> dict[str, t.Any]:
+    """Time the chaos campaign serial vs parallel; cells must match."""
+    from .chaos_campaign import format_campaign, run_campaign
+
+    n_jobs = resolve_jobs(jobs)
+    t0 = time.perf_counter()
+    serial = run_campaign(n_nodes=n_nodes, n_questions=n_questions, jobs=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_campaign(
+        n_nodes=n_nodes, n_questions=n_questions, jobs=n_jobs
+    )
+    parallel_s = time.perf_counter() - t0
+    return {
+        "jobs": n_jobs,
+        "cells": len(serial),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "identical": (
+            serial == parallel
+            and format_campaign(serial) == format_campaign(parallel)
+        ),
+    }
+
+
+# -- top level -------------------------------------------------------------------
+def run_simbench(
+    n_chains: int = 400,
+    chain_len: int = 50,
+    seed: int = 17,
+    sections: t.Sequence[str] = DEFAULT_SECTIONS,
+    jobs: int | str | None = "auto",
+) -> dict[str, t.Any]:
+    """Run all three benchmarks and collect one summary dict."""
+    micro = run_event_microbench(
+        n_chains=n_chains, chain_len=chain_len, seed=seed
+    )
+    runner = run_runner_wallclock(sections=sections, jobs=jobs)
+    chaos = run_chaos_wallclock(jobs=jobs)
+    return {
+        "schema": "simperf-v1",
+        "cpu_count": os.cpu_count(),
+        "microbench": micro,
+        "runner": runner,
+        "chaos": chaos,
+        "ok": bool(
+            micro["ordering_identical"]
+            and runner["identical"]
+            and chaos["identical"]
+        ),
+    }
+
+
+def format_simperf(summary: dict[str, t.Any]) -> str:
+    """Human-readable report of a simbench summary."""
+    m, r, c = summary["microbench"], summary["runner"], summary["chaos"]
+    lines = [
+        f"Simulation-core benchmark (cpu_count={summary['cpu_count']})",
+        "",
+        f"event loop   : {m['events']} events over {m['chains']} chains",
+        f"  baseline   : {m['baseline']['events_per_s']:,.0f} events/s "
+        f"({m['baseline']['elapsed_s'] * 1e3:.1f} ms)",
+        f"  fast path  : {m['fast']['events_per_s']:,.0f} events/s "
+        f"({m['fast']['elapsed_s'] * 1e3:.1f} ms)",
+        f"  speedup    : {m['speedup']:.2f}x "
+        f"(ordering identical: {m['ordering_identical']})",
+        "",
+        f"runner       : {len(r['sections'])} sections, jobs={r['jobs']}",
+        f"  serial     : {r['serial_s']:.2f} s",
+        f"  parallel   : {r['parallel_s']:.2f} s "
+        f"({r['speedup']:.2f}x, byte-identical: {r['identical']})",
+        "",
+        f"chaos        : {c['cells']} cells, jobs={c['jobs']}",
+        f"  serial     : {c['serial_s']:.2f} s",
+        f"  parallel   : {c['parallel_s']:.2f} s "
+        f"({c['speedup']:.2f}x, cell-identical: {c['identical']})",
+    ]
+    return "\n".join(lines)
+
+
+def write_simperf_json(
+    summary: dict[str, t.Any], path: str = "BENCH_simperf.json"
+) -> str:
+    """Write the summary as JSON; returns the path written."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

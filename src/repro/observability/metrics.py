@@ -160,9 +160,17 @@ class MetricsRegistry:
     existing name with a different type is an error — one name, one
     meaning.  Use the canonical names from
     :mod:`repro.observability.names`.
+
+    When ``enabled`` is False the shorthand write paths (:meth:`inc`,
+    :meth:`observe`) are single-branch no-ops — no registry lookup, no
+    float conversion, no histogram bookkeeping — so uninstrumented
+    simulation runs pay nothing for the metrics layer.  The read side
+    and explicit ``counter()``/``gauge()`` handles keep working (they
+    just see empty/zero metrics).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
         self._metrics: dict[str, _Metric] = {}
 
     def _get(self, name: str, cls: type) -> t.Any:
@@ -200,12 +208,14 @@ class MetricsRegistry:
 
     # -- shorthand write paths -------------------------------------------------
     def inc(self, name: str, amount: float = 1.0) -> None:
-        """Increment counter ``name`` by ``amount``."""
-        self.counter(name).inc(amount)
+        """Increment counter ``name`` by ``amount`` (no-op when disabled)."""
+        if self.enabled:
+            self.counter(name).inc(amount)
 
     def observe(self, name: str, value: float) -> None:
-        """Record ``value`` into histogram ``name``."""
-        self.histogram(name).observe(value)
+        """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.histogram(name).observe(value)
 
     # -- read side --------------------------------------------------------------
     def get(self, name: str) -> _Metric | None:

@@ -73,7 +73,9 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Event | None = None
         # Kick-start on the next queue iteration at the current time.
-        bootstrap = Event(env, name=f"init:{self.name}")
+        # The bootstrap hub is anonymous: per-process f-string labels are
+        # measurable overhead and the process itself carries the name.
+        bootstrap = Event(env)
         bootstrap.callbacks.append(self._resume)  # type: ignore[union-attr]
         bootstrap._ok = True
         bootstrap._value = None
@@ -95,7 +97,7 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished {self!r}")
         if self.env.active_process is self:
             raise SimulationError("a process cannot interrupt itself")
-        hub = Event(self.env, name=f"interrupt:{self.name}")
+        hub = Event(self.env)
         hub._ok = False
         hub._value = Interrupt(cause)
         hub.callbacks.append(self._resume)  # type: ignore[union-attr]
@@ -149,8 +151,8 @@ class Process(Event):
             raise SimulationError("cannot wait on an event from another environment")
         if target.callbacks is None:
             # Already processed: resume immediately (same timestamp).
-            hub = Event(self.env, name=f"replay:{self.name}")
-            hub._ok = target.ok
+            hub = Event(self.env)
+            hub._ok = target._ok
             hub._value = target._value
             hub.callbacks.append(self._resume)  # type: ignore[union-attr]
             self.env._schedule(hub, delay=0.0, priority=_URGENT)
@@ -168,6 +170,8 @@ class Environment:
     initial_time:
         Starting value of :attr:`now` (seconds).
     """
+
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_crashed")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -245,10 +249,22 @@ class Environment:
         * a number — run until the clock reaches that time;
         * an :class:`Event` — run until that event is processed, returning
           its value (raising its exception if it failed).
+
+        All three loops are inlined fast paths over the same pop/clock/
+        callback sequence as :meth:`step`; event firing order is
+        identical to stepping manually.
         """
+        queue = self._queue
+        heappop = heapq.heappop
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _prio, _seq, event = heappop(queue)
+                self._now = when
+                event._run_callbacks()
+                if self._crashed is not None:
+                    proc, exc = self._crashed
+                    self._crashed = None
+                    raise exc
             return None
 
         if isinstance(until, Event):
@@ -263,11 +279,17 @@ class Environment:
             else:
                 target.callbacks.append(_done)
             while not sentinel:
-                if not self._queue:
+                if not queue:
                     raise SimulationError(
                         f"simulation ran out of events before {target!r} fired"
                     )
-                self.step()
+                when, _prio, _seq, event = heappop(queue)
+                self._now = when
+                event._run_callbacks()
+                if self._crashed is not None:
+                    proc, exc = self._crashed
+                    self._crashed = None
+                    raise exc
             if not target.ok:
                 raise t.cast(BaseException, target._value)
             return target.value
@@ -275,7 +297,13 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"cannot run backwards to t={horizon} (now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while queue and queue[0][0] <= horizon:
+            when, _prio, _seq, event = heappop(queue)
+            self._now = when
+            event._run_callbacks()
+            if self._crashed is not None:
+                proc, exc = self._crashed
+                self._crashed = None
+                raise exc
         self._now = horizon
         return None

@@ -133,20 +133,38 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts are the engine's hottest allocation: one per simulated
+    delay, resource completion, and monitor round.  The constructor is
+    therefore kept lean — in particular the diagnostic name is *lazy*
+    (``name`` stays ``None`` unless a caller passes one); formatting a
+    per-event label costs more than the rest of the scheduling combined.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(
-        self, env: "Environment", delay: float, value: object = None
+        self,
+        env: "Environment",
+        delay: float,
+        value: object = None,
+        name: str | None = None,
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env, name=f"Timeout({delay:.6g})")
+        self.env = env
+        self.callbacks = []
+        self._processed = False
+        self.name = name
         self.delay = delay
         self._ok = True
         self._value = value
         env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else "triggered"
+        return f"<{self.name or f'Timeout({self.delay:.6g})'} {state}>"
 
 
 class _Condition(Event):

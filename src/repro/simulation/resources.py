@@ -120,7 +120,10 @@ class FairShareResource:
             raise ValueError(f"negative demand: {demand}")
         if weight <= 0:
             raise ValueError(f"weight must be positive: {weight}")
-        event = self.env.event(name=f"{self.name}.use({demand:.6g})")
+        # Anonymous completion event: this is the engine's hottest event
+        # constructor after Timeout, and a per-use f-string label costs
+        # more than the heap push that schedules it.
+        event = Event(self.env)
         job = Job(event, float(demand), float(weight), tag)
         if demand == 0.0:
             event.succeed(0.0)

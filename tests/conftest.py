@@ -1,0 +1,50 @@
+"""Shared fixtures: one session-scoped corpus/index/pipeline stack.
+
+Corpus generation and indexing dominate test-suite wall clock, and
+several modules independently rebuilt the same (or an equivalent)
+stack.  The fixtures here build the canonical test corpus — 3
+collections x 20 docs, vocab 500, seed 31 — exactly once per session;
+they are read-only from the tests' point of view, so sharing them is
+safe.  Tests that genuinely need a different corpus shape keep their
+own local fixtures.
+"""
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus, generate_questions
+from repro.nlp import EntityRecognizer
+from repro.qa import QAPipeline
+from repro.retrieval import IndexedCorpus
+
+#: The canonical test-corpus shape (kept in sync with the docstring).
+SHARED_CORPUS_CONFIG = CorpusConfig(
+    n_collections=3, docs_per_collection=20, vocab_size=500, seed=31
+)
+
+
+@pytest.fixture(scope="session")
+def shared_corpus():
+    """Session-wide generated corpus (3/20/500, seed 31)."""
+    return generate_corpus(SHARED_CORPUS_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def shared_indexed_corpus(shared_corpus):
+    """The shared corpus wrapped in an IndexedCorpus (built once)."""
+    return IndexedCorpus(shared_corpus)
+
+
+@pytest.fixture(scope="session")
+def shared_pipeline(shared_corpus, shared_indexed_corpus):
+    """A QAPipeline over the shared index, with the matching recognizer."""
+    recognizer = EntityRecognizer(
+        shared_corpus.knowledge.gazetteer(),
+        extra_nationalities=shared_corpus.knowledge.nationalities,
+    )
+    return QAPipeline(shared_indexed_corpus, recognizer)
+
+
+@pytest.fixture(scope="session")
+def shared_questions(shared_corpus):
+    """Generated questions for the shared corpus."""
+    return generate_questions(shared_corpus)

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.experiments.prediction_exp import format_prediction, run_prediction
 from repro.experiments.robustness_exp import (
     format_cache_skew,

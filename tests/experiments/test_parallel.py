@@ -1,0 +1,111 @@
+"""Tests for the parallel cell runner and its determinism guarantees.
+
+The contract under test is the one the whole experiment harness rests
+on: ``--jobs N`` output is byte-identical to serial output.  The grid
+sweeps here are deliberately small so the pool runs (which fork real
+worker processes) stay cheap.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.experiments.parallel import derive_seed, resolve_jobs, run_cells
+
+
+class TestResolveJobs:
+    def test_none_means_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_auto_uses_cpu_count(self):
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+
+    def test_integer_and_integer_string(self):
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs("4") == 4
+        assert resolve_jobs(" AUTO ") == (os.cpu_count() or 1)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+        with pytest.raises(ValueError):
+            resolve_jobs("many")
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(11, "SEND", 0.0025) == derive_seed(11, "SEND", 0.0025)
+
+    def test_distinct_parts_distinct_seeds(self):
+        seeds = {
+            derive_seed(11, strategy, rate)
+            for strategy in ("SEND", "ISEND", "RECV")
+            for rate in (0.0, 0.0025, 1 / 150)
+        }
+        assert len(seeds) == 9
+
+    def test_base_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_fits_in_63_bits(self):
+        s = derive_seed(11, "SEND")
+        assert 0 <= s < 2**63
+
+
+def _square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+class TestRunCells:
+    def test_serial_inline(self):
+        assert run_cells(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+        assert run_cells(_square, [1, 2, 3], jobs=None) == [1, 4, 9]
+
+    def test_single_cell_never_pools(self):
+        assert run_cells(_square, [5], jobs=8) == [25]
+
+    def test_empty(self):
+        assert run_cells(_square, [], jobs=4) == []
+
+    def test_pool_preserves_cell_order(self):
+        cells = list(range(12))
+        assert run_cells(_square, cells, jobs=2) == [_square(c) for c in cells]
+
+
+class TestCampaignDeterminism:
+    @pytest.mark.slow
+    def test_chaos_campaign_identical_across_job_counts(self):
+        from repro.core import PartitioningStrategy
+        from repro.experiments.chaos_campaign import (
+            format_campaign,
+            run_campaign,
+        )
+
+        kwargs = dict(
+            n_nodes=4,
+            n_questions=6,
+            strategies=(PartitioningStrategy.SEND, PartitioningStrategy.RECV),
+            fault_rates=(0.0, 1.0 / 200.0),
+        )
+        serial = run_campaign(jobs=1, **kwargs)
+        for jobs in (2, 4):
+            parallel = run_campaign(jobs=jobs, **kwargs)
+            assert parallel == serial
+            assert format_campaign(parallel) == format_campaign(serial)
+
+    @pytest.mark.slow
+    def test_runner_report_byte_identical(self):
+        from repro.experiments.runner import run_all
+
+        def render(jobs):
+            buf = io.StringIO()
+            run_all(["table4", "fig8"], stream=buf, jobs=jobs)
+            return buf.getvalue()
+
+        serial = render(1)
+        assert render(2) == serial
+        assert "### table4" in serial

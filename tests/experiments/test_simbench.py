@@ -1,0 +1,75 @@
+"""Tests for the simulation-core benchmark (``python -m repro simbench``)."""
+
+import json
+
+import pytest
+
+from repro.experiments.simbench import (
+    format_simperf,
+    run_event_microbench,
+    run_runner_wallclock,
+    write_simperf_json,
+)
+
+
+class TestEventMicrobench:
+    def test_orders_match_and_counts_agree(self):
+        m = run_event_microbench(n_chains=25, chain_len=10, repeats=1)
+        assert m["ordering_identical"] is True
+        assert m["events"] > 25 * 10  # timeouts plus process bookkeeping
+        assert m["baseline"]["elapsed_s"] > 0
+        assert m["fast"]["elapsed_s"] > 0
+        assert m["speedup"] == pytest.approx(
+            m["baseline"]["elapsed_s"] / m["fast"]["elapsed_s"]
+        )
+
+
+class TestRunnerWallclock:
+    @pytest.mark.slow
+    def test_parallel_report_identical(self):
+        r = run_runner_wallclock(sections=["table4"], jobs=2)
+        assert r["identical"] is True
+        assert r["jobs"] == 2
+        assert r["serial_s"] > 0 and r["parallel_s"] > 0
+
+
+class TestSummaryIO:
+    def _summary(self):
+        micro = run_event_microbench(n_chains=10, chain_len=5, repeats=1)
+        return {
+            "schema": "simperf-v1",
+            "cpu_count": 1,
+            "microbench": micro,
+            "runner": {
+                "sections": ["table4"],
+                "jobs": 2,
+                "serial_s": 1.0,
+                "parallel_s": 0.5,
+                "speedup": 2.0,
+                "identical": True,
+            },
+            "chaos": {
+                "jobs": 2,
+                "cells": 9,
+                "serial_s": 1.0,
+                "parallel_s": 0.5,
+                "speedup": 2.0,
+                "identical": True,
+            },
+            "ok": True,
+        }
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_simperf.json"
+        out = write_simperf_json(self._summary(), str(path))
+        assert out == str(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "simperf-v1"
+        assert loaded["microbench"]["ordering_identical"] is True
+
+    def test_format_mentions_all_three_benchmarks(self):
+        text = format_simperf(self._summary())
+        assert "event loop" in text
+        assert "runner" in text
+        assert "chaos" in text
+        assert "ordering identical: True" in text

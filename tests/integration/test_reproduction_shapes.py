@@ -18,6 +18,8 @@ from repro.core import (
 from repro.qa import SyntheticProfileGenerator, SyntheticProfileParams
 from repro.workload import high_load_count, staggered_arrivals, trec_mix_profiles
 
+pytestmark = pytest.mark.slow
+
 
 def complex_profiles(n, seed=3):
     gen = SyntheticProfileGenerator(SyntheticProfileParams.complex(), seed=seed)

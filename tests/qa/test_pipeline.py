@@ -2,26 +2,11 @@
 
 import pytest
 
-from repro.corpus import CorpusConfig, generate_corpus, generate_questions
-from repro.nlp import EntityRecognizer
-from repro.qa import QAPipeline
-from repro.retrieval import IndexedCorpus
 
-
-@pytest.fixture(scope="module")
-def setup():
-    corpus = generate_corpus(
-        CorpusConfig(n_collections=3, docs_per_collection=20, vocab_size=500,
-                     seed=31)
-    )
-    indexed = IndexedCorpus(corpus)
-    recognizer = EntityRecognizer(
-        corpus.knowledge.gazetteer(),
-        extra_nationalities=corpus.knowledge.nationalities,
-    )
-    pipeline = QAPipeline(indexed, recognizer)
-    questions = generate_questions(corpus)
-    return pipeline, questions
+@pytest.fixture
+def setup(shared_pipeline, shared_questions):
+    """The session-scoped pipeline stack from tests/conftest.py."""
+    return shared_pipeline, shared_questions
 
 
 class TestEndToEnd:

@@ -10,6 +10,7 @@ randomized corpora and randomized keyword sets.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -160,6 +161,7 @@ def test_answer_spans_identical(docs, kws):
     ]
 
 
+@pytest.mark.slow
 def test_full_pipeline_equivalence_on_random_corpora():
     """End-to-end: optimized pipeline == reference pipeline, several seeds."""
     for seed in (3, 11):
