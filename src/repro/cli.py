@@ -6,9 +6,11 @@ ask         answer a free-form question over the generated corpus
 simulate    run a workload on the simulated distributed cluster
 chaos       randomized fault-injection campaign (fault rates x strategies)
 model       analytical capacity planning for given bandwidths
-bench       end-to-end throughput benchmark (baseline vs optimized hot
-            path); writes BENCH_throughput.json and fails on any
-            output-equivalence mismatch
+bench       end-to-end throughput benchmark (re-tokenize baseline vs
+            optimized hot path vs payload-attached index, plus packed
+            index memory/serialize/attach columns); writes
+            BENCH_throughput.json and fails on any output-equivalence
+            mismatch
 experiments regenerate any of the paper's tables/figures (see
             ``python -m repro.experiments.runner``)
 observe     traced SEND/ISEND/RECV workload with span export (Chrome
@@ -16,9 +18,11 @@ observe     traced SEND/ISEND/RECV workload with span export (Chrome
             model; fails if any export or the attribution sum invariant
             is invalid
 simbench    simulation-core benchmark: events/sec microbench (baseline
-            vs fast path, firing order asserted identical) plus serial
-            vs parallel runner/chaos wall-clock; writes
-            BENCH_simperf.json and fails on any determinism mismatch
+            vs fast path, firing order asserted identical), serial vs
+            parallel runner/chaos wall-clock, and the packed-index cache
+            round trip (build/serialize/attach + memory footprint);
+            writes BENCH_simperf.json and fails on any determinism or
+            round-trip mismatch
 
 ``chaos``, ``experiments`` (alias ``exp``) and ``simbench`` accept
 ``--jobs N`` (or ``auto``) to run independent experiment cells on a
@@ -218,7 +222,8 @@ def _cmd_simbench(args: argparse.Namespace) -> None:
     print(f"wrote {out}")
     if not summary["ok"]:
         raise SystemExit(
-            "simbench FAILED: parallel output diverged from serial"
+            "simbench FAILED: parallel output diverged from serial, or the "
+            "packed-index payload failed its round trip"
         )
 
 

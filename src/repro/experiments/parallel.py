@@ -19,8 +19,13 @@ serial output**.  Three rules make that hold:
 The pool prefers the ``fork`` start method: children inherit the
 parent's warm ``lru_cache`` of experiment contexts (see
 :mod:`repro.experiments.context`), so no worker rebuilds a corpus the
-parent already has.  Where ``fork`` is unavailable the on-disk corpus
-cache keeps the cold-start cost to one unpickle per worker.
+parent already has.  Where ``fork`` is unavailable — or a worker needs a
+context the parent never built — the on-disk v2 artifact cache keeps the
+cold-start cost to one unpickle per worker: the corpus comes back as a
+pickle, and the packed index payload *attaches*
+(:func:`repro.retrieval.packing.attach_payload`) instead of re-running
+tokenize + stem + intern, so the index is built once per machine rather
+than once per process.
 """
 
 from __future__ import annotations

@@ -1,6 +1,6 @@
 """Simulation-core benchmark: events/sec microbench + parallel wall-clock.
 
-Three measurements, written together to ``BENCH_simperf.json`` by
+Four measurements, written together to ``BENCH_simperf.json`` by
 ``python -m repro simbench``:
 
 * **Event-loop microbench** — a seeded population of generator processes
@@ -17,6 +17,10 @@ Three measurements, written together to ``BENCH_simperf.json`` by
   serially and with a process pool, asserting byte-identical reports.
 * **Chaos wall-clock** — the chaos campaign grid, serial versus pooled,
   asserting cell-identical results.
+* **Index-cache round trip** — build vs serialize vs attach timing of the
+  packed index payload on a small corpus, its memory footprint next to
+  the dict layout it replaced, and the bit-identical round-trip verdict
+  from :func:`repro.experiments.context.index_cache_selftest`.
 
 On a single-CPU host the parallel measurements legitimately show ~1x;
 ``cpu_count`` is recorded so readers can interpret the ratio.  The
@@ -40,6 +44,7 @@ __all__ = [
     "run_event_microbench",
     "run_runner_wallclock",
     "run_chaos_wallclock",
+    "run_index_cache_bench",
     "run_simbench",
     "format_simperf",
     "write_simperf_json",
@@ -209,6 +214,50 @@ def run_chaos_wallclock(
     }
 
 
+# -- packed-index cache round trip -----------------------------------------------
+def run_index_cache_bench(seed: int = 17) -> dict[str, t.Any]:
+    """Build/serialize/attach timing + round-trip verdict of the v2 artifact."""
+    import pickle
+
+    from ..corpus import CorpusConfig, generate_corpus
+    from ..nlp.vocabulary import Vocabulary
+    from ..retrieval import (
+        CollectionIndex,
+        attach_payload,
+        indexes_to_payload,
+        memory_footprint,
+    )
+    from .context import index_cache_selftest
+
+    config = CorpusConfig(
+        n_collections=2, docs_per_collection=20, vocab_size=500, seed=seed
+    )
+    corpus = generate_corpus(config)
+    t0 = time.perf_counter()
+    indexes = [CollectionIndex(coll) for coll in corpus.collections]
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    blob = pickle.dumps(
+        indexes_to_payload(indexes), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    serialize_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    attach_payload(corpus, pickle.loads(blob), vocabulary=Vocabulary())
+    attach_s = time.perf_counter() - t0
+    report = index_cache_selftest(config)
+    footprint = memory_footprint(indexes)
+    return {
+        "build_s": build_s,
+        "serialize_s": serialize_s,
+        "attach_s": attach_s,
+        "attach_speedup": build_s / attach_s if attach_s > 0 else float("inf"),
+        "payload_bytes": len(blob),
+        "memory": footprint,
+        "roundtrip_identical": report["roundtrip_identical"],
+        "queries_identical": report["queries_identical"],
+    }
+
+
 # -- top level -------------------------------------------------------------------
 def run_simbench(
     n_chains: int = 400,
@@ -223,16 +272,20 @@ def run_simbench(
     )
     runner = run_runner_wallclock(sections=sections, jobs=jobs)
     chaos = run_chaos_wallclock(jobs=jobs)
+    index_cache = run_index_cache_bench()
     return {
-        "schema": "simperf-v1",
+        "schema": "simperf-v2",
         "cpu_count": os.cpu_count(),
         "microbench": micro,
         "runner": runner,
         "chaos": chaos,
+        "index_cache": index_cache,
         "ok": bool(
             micro["ordering_identical"]
             and runner["identical"]
             and chaos["identical"]
+            and index_cache["roundtrip_identical"]
+            and index_cache["queries_identical"]
         ),
     }
 
@@ -261,6 +314,22 @@ def format_simperf(summary: dict[str, t.Any]) -> str:
         f"  parallel   : {c['parallel_s']:.2f} s "
         f"({c['speedup']:.2f}x, cell-identical: {c['identical']})",
     ]
+    ic = summary.get("index_cache")
+    if ic is not None:
+        mem = ic["memory"]
+        lines += [
+            "",
+            f"index cache  : payload {ic['payload_bytes'] / 1e6:.2f} MB",
+            f"  build      : {ic['build_s'] * 1e3:.1f} ms",
+            f"  serialize  : {ic['serialize_s'] * 1e3:.1f} ms",
+            f"  attach     : {ic['attach_s'] * 1e3:.1f} ms "
+            f"({ic['attach_speedup']:.1f}x faster than rebuild)",
+            f"  memory     : packed {mem['packed_bytes'] / 1e6:.2f} MB vs dict "
+            f"{mem['dict_layout_bytes'] / 1e6:.2f} MB "
+            f"({mem['reduction']:.1f}x smaller)",
+            f"  round trip : identical={ic['roundtrip_identical']}, "
+            f"queries identical={ic['queries_identical']}",
+        ]
     return "\n".join(lines)
 
 

@@ -1,13 +1,15 @@
 """End-to-end throughput benchmark — the perf-regression harness.
 
 Runs a Zipf-popular question workload through the *real* Q/A pipeline
-twice — once on the re-tokenize reference path (term index off, naive
-set-intersection retrieval, no conjunction cache) and once on the
-optimized hot path — and emits ``BENCH_throughput.json`` with
-questions/sec, per-module p50/p95 latency, and the index-build time, so
-every future PR has a perf trajectory to compare against.
+three times — on the re-tokenize reference path (term index off, naive
+set-intersection retrieval, no conjunction cache), on the optimized hot
+path, and on indexes **attached** from a serialized packed payload (the
+path parallel workers take) — and emits ``BENCH_throughput.json`` with
+questions/sec, per-module p50/p95 latency, index build/serialize/attach
+times, and the packed-vs-dict memory footprint, so every future PR has a
+perf trajectory to compare against.
 
-The two runs must be **bit-identical** in answers, paragraph ranks, and
+The three runs must be **bit-identical** in answers, paragraph ranks, and
 cost-accounting fields (``postings_scanned``/``doc_bytes_read`` surface in
 ``QAResult.work``); any divergence is a correctness failure, reported in
 the summary and turned into a non-zero exit by the CLI.  Timing is never a
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import pickle
 import time
 import typing as t
 from dataclasses import asdict, dataclass
@@ -28,8 +31,14 @@ import numpy as np
 
 from ..corpus import CorpusConfig, generate_corpus, generate_questions
 from ..nlp.entities import EntityRecognizer
+from ..nlp.vocabulary import Vocabulary
 from ..qa import QAPipeline, QAResult
-from ..retrieval import IndexedCorpus
+from ..retrieval import (
+    IndexedCorpus,
+    attach_payload,
+    indexes_to_payload,
+    memory_footprint,
+)
 from ..workload.metrics import percentile
 
 __all__ = [
@@ -127,6 +136,22 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
     t0 = time.perf_counter()
     indexed = IndexedCorpus(corpus, conjunction_cache=config.conjunction_cache)
     index_build_s = time.perf_counter() - t0
+
+    # Packed-payload round trip: what a cold parallel worker pays to get a
+    # queryable index, vs. rebuilding it from corpus text.
+    t0 = time.perf_counter()
+    payload_blob = pickle.dumps(
+        indexes_to_payload(indexed.indexes), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    serialize_s = time.perf_counter() - t0
+    cold_vocab = Vocabulary()
+    t0 = time.perf_counter()
+    attached_indexes = attach_payload(
+        corpus, pickle.loads(payload_blob), vocabulary=cold_vocab
+    )
+    attach_s = time.perf_counter() - t0
+    footprint = memory_footprint(indexed.indexes)
+
     recognizer = EntityRecognizer(
         corpus.knowledge.gazetteer(),
         extra_nationalities=corpus.knowledge.nationalities,
@@ -149,6 +174,15 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
         use_term_index=False,
     )
     optimized_pipeline = QAPipeline(indexed, recognizer, use_term_index=True)
+    attached_pipeline = QAPipeline(
+        IndexedCorpus(
+            corpus,
+            indexes=attached_indexes,
+            conjunction_cache=config.conjunction_cache,
+        ),
+        recognizer,
+        use_term_index=True,
+    )
 
     base_results, base_stats = _run_workload(
         baseline_pipeline, workload, config.warmup
@@ -156,20 +190,34 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
     opt_results, opt_stats = _run_workload(
         optimized_pipeline, workload, config.warmup
     )
+    att_results, att_stats = _run_workload(
+        attached_pipeline, workload, config.warmup
+    )
     opt_stats["conjunction_cache"] = [
         r.cache_stats for r in optimized_pipeline.indexed.retrievers
     ]
 
+    # Three-way equivalence gate: naive rebuild, packed build, packed attach.
     mismatches = [
         i
-        for i, (a, b) in enumerate(zip(base_results, opt_results))
-        if _fingerprint(a) != _fingerprint(b)
+        for i, (a, b, c) in enumerate(zip(base_results, opt_results, att_results))
+        if not (_fingerprint(a) == _fingerprint(b) == _fingerprint(c))
     ]
     stats = indexed.total_stats()
     return {
-        "schema": "bench_throughput/v1",
+        "schema": "bench_throughput/v2",
         "config": asdict(config),
-        "index": {"build_s": index_build_s, **stats},
+        "index": {
+            "build_s": index_build_s,
+            "serialize_s": serialize_s,
+            "attach_s": attach_s,
+            "attach_speedup": (
+                index_build_s / attach_s if attach_s > 0 else float("inf")
+            ),
+            "payload_bytes": len(payload_blob),
+            "memory": footprint,
+            **stats,
+        },
         "workload": {
             "n_questions": len(workload),
             "n_unique": len(unique),
@@ -177,6 +225,7 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
         },
         "baseline": base_stats,
         "optimized": opt_stats,
+        "attached": att_stats,
         "speedup": (
             base_stats["wall_s"] / opt_stats["wall_s"]
             if opt_stats["wall_s"] > 0
@@ -196,19 +245,36 @@ def format_throughput(summary: dict[str, t.Any]) -> str:
     wl = summary["workload"]
     lines.append("Throughput — precomputed term index vs re-tokenize baseline")
     lines.append("=" * len(lines[0]))
+    ix = summary["index"]
     lines.append(
         f"workload: {wl['n_questions']} questions over {wl['n_unique']} unique"
         f" (Zipf s={wl['zipf_exponent']}), index build"
-        f" {summary['index']['build_s']:.2f} s"
+        f" {ix['build_s']:.2f} s"
     )
+    mem = ix.get("memory", {})
+    if "attach_s" in ix:
+        lines.append(
+            f"index artifact: serialize {ix['serialize_s'] * 1e3:.1f} ms,"
+            f" attach {ix['attach_s'] * 1e3:.1f} ms"
+            f" ({ix['attach_speedup']:.1f}x faster than rebuild),"
+            f" payload {ix['payload_bytes'] / 1e6:.2f} MB"
+        )
+    if "dict_layout_bytes" in mem:
+        lines.append(
+            f"index memory: packed {mem['packed_bytes'] / 1e6:.2f} MB vs dict"
+            f" layout {mem['dict_layout_bytes'] / 1e6:.2f} MB"
+            f" ({mem['reduction']:.1f}x smaller)"
+        )
     header = (
         f"{'Run':<10} | {'q/s':>8} | {'p50 ms':>8} | {'p95 ms':>8} | "
         f"{'PS ms p50':>9} | {'AP ms p50':>9}"
     )
     lines.append(header)
     lines.append("-" * len(header))
-    for name in ("baseline", "optimized"):
-        s = summary[name]
+    for name in ("baseline", "optimized", "attached"):
+        s = summary.get(name)
+        if s is None:
+            continue
         lines.append(
             f"{name:<10} | {s['questions_per_sec']:>8.2f} |"
             f" {s['latency_ms']['p50']:>8.2f} | {s['latency_ms']['p95']:>8.2f} |"

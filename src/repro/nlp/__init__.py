@@ -12,6 +12,7 @@ from .porter import stem
 from .stemming import SHARED_STEM_CACHE, StemCache, cached_stem
 from .stopwords import STOPWORDS, is_stopword
 from .tokenizer import Token, is_capitalized, is_number_token, sentences, tokenize
+from .vocabulary import MISSING_ID, SHARED_VOCABULARY, Vocabulary
 
 __all__ = [
     "Entity",
@@ -20,11 +21,14 @@ __all__ = [
     "Gazetteer",
     "HEAD_NOUN_TYPES",
     "Keyword",
+    "MISSING_ID",
     "QuestionClassification",
     "SHARED_STEM_CACHE",
+    "SHARED_VOCABULARY",
     "STOPWORDS",
     "StemCache",
     "Token",
+    "Vocabulary",
     "cached_stem",
     "classify_question",
     "is_capitalized",

@@ -1,0 +1,99 @@
+"""Process-wide stem vocabulary: string terms interned to dense int ids.
+
+Production engines code their dictionaries as integer term ids so that
+postings, per-document term arrays, and query evaluation all operate on
+flat integer arrays instead of hash-table lookups over strings
+(cs/0407053).  :class:`Vocabulary` is that mapping for the whole process:
+every stem (and raw non-word token) the indexer sees is interned once and
+identified by a dense non-negative id thereafter.
+
+Ids are assigned in first-intern order and are **stable for the lifetime
+of the process** — re-interning an already-known term always returns the
+same id, and ids are never recycled.  The id space is therefore dense
+(``0 .. len(vocab) - 1``), which is what lets the packed index layers in
+:mod:`repro.retrieval.inverted_index` use ids directly as array values.
+
+Ids are *process-local*: a serialized index must carry its term table and
+remap on load (see :mod:`repro.retrieval.packing`).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+__all__ = ["Vocabulary", "SHARED_VOCABULARY", "MISSING_ID"]
+
+#: Sentinel returned by :meth:`Vocabulary.lookup` for unknown terms.  It is
+#: negative, so it can flow straight into bisect probes over (non-negative)
+#: packed id arrays and simply never match.
+MISSING_ID = -1
+
+
+class Vocabulary:
+    """Bidirectional term <-> dense-id interner.
+
+    ``intern`` assigns (or recalls) an id; ``lookup`` never assigns.  The
+    structure only ever grows — the working vocabulary of a corpus is
+    bounded and shared, unlike the per-query stem stream, which is why the
+    stem *cache* is an LRU but the vocabulary is not.
+    """
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self, terms: t.Iterable[str] = ()) -> None:
+        self._ids: dict[str, int] = {}
+        self._terms: list[str] = []
+        for term in terms:
+            self.intern(term)
+
+    def intern(self, term: str) -> int:
+        """Id of ``term``, assigning the next dense id on first sight."""
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = len(self._terms)
+            self._ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def lookup(self, term: str) -> int:
+        """Id of ``term``, or :data:`MISSING_ID` — never assigns."""
+        return self._ids.get(term, MISSING_ID)
+
+    def term(self, tid: int) -> str:
+        """The term interned under ``tid`` (raises IndexError if unknown)."""
+        if tid < 0:
+            raise IndexError(f"no term for sentinel id {tid}")
+        return self._terms[tid]
+
+    def terms(self, ids: t.Iterable[int]) -> tuple[str, ...]:
+        """Terms for a sequence of ids, in order."""
+        terms = self._terms
+        return tuple(terms[i] for i in ids)
+
+    def table(self) -> list[str]:
+        """A copy of the full term table, index == id (for serialization)."""
+        return list(self._terms)
+
+    def matches_prefix(self, table: t.Sequence[str]) -> bool:
+        """True iff this vocabulary starts with exactly ``table``.
+
+        When a serialized index's term table is a prefix of the live
+        vocabulary, every stored id is already valid here and attaching
+        needs no remapping — the common case for freshly forked/spawned
+        workers that attach before interning anything else.
+        """
+        n = len(table)
+        return len(self._terms) >= n and self._terms[:n] == list(table)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._ids
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vocabulary({len(self._terms)} terms)"
+
+
+#: Process-wide vocabulary shared by every index built in this process.
+SHARED_VOCABULARY = Vocabulary()

@@ -22,6 +22,9 @@ __all__ = [
     "DISPATCH_PARTITION_WIDTH",
     "DNS_ASSIGNMENTS",
     "DOC_BYTES_READ",
+    "INDEX_ATTACH_S",
+    "INDEX_BUILD_S",
+    "INDEX_MEMORY_BYTES",
     "MONITOR_BROADCASTS",
     "MONITOR_BUSY_S",
     "N_KEYWORDS",
@@ -36,6 +39,7 @@ __all__ = [
     "STEM_CACHE_HITS",
     "STEM_CACHE_MISSES",
     "TASK_RETRIES",
+    "VOCABULARY_SIZE",
 ]
 
 # -- retrieval / pipeline work counters (the PR-phase cost drivers) ----------
@@ -53,6 +57,12 @@ CONJUNCTION_CACHE_MISSES = "retrieval.conjunction_cache.misses"
 #: Shared stem-cache (PR 2) hit/miss counters.
 STEM_CACHE_HITS = "nlp.stem_cache.hits"
 STEM_CACHE_MISSES = "nlp.stem_cache.misses"
+#: Packed index data plane (PR 5): resident bytes of the array-backed
+#: index structures, build-vs-attach seconds, and interned vocabulary size.
+INDEX_MEMORY_BYTES = "retrieval.index.memory_bytes"
+INDEX_BUILD_S = "retrieval.index.build_s"
+INDEX_ATTACH_S = "retrieval.index.attach_s"
+VOCABULARY_SIZE = "nlp.vocabulary.size"
 #: Paragraph bytes flowing through PS and AP (pipeline work counters).
 PS_PARAGRAPH_BYTES = "qa.ps.paragraph_bytes"
 AP_PARAGRAPH_BYTES = "qa.ap.paragraph_bytes"

@@ -18,9 +18,9 @@ time), but it is partitioned together with PR in the distributed design
 
 When constructed with a ``term_lookup`` (the indexed corpus'
 :meth:`~repro.retrieval.collection.IndexedCorpus.term_lookup`), keyword
-positions come from the index's precomputed
-:class:`~repro.retrieval.inverted_index.ParagraphTerms` — a dictionary
-lookup per keyword — instead of re-tokenizing and re-stemming the
+positions come from the index's packed
+:class:`~repro.retrieval.inverted_index.ParagraphTerms` — a vocabulary-id
+binary search per keyword — instead of re-tokenizing and re-stemming the
 paragraph text for every question.  Both paths produce byte-identical
 scores (enforced by tests/qa/test_scoring_equivalence.py).
 """
@@ -28,6 +28,7 @@ scores (enforced by tests/qa/test_scoring_equivalence.py).
 from __future__ import annotations
 
 import typing as t
+from array import array
 
 from ..nlp.stemming import cached_stem as stem
 from ..nlp.stopwords import is_stopword
@@ -85,27 +86,38 @@ def keyword_positions(
 def keyword_positions_from_terms(
     terms: ParagraphTerms, keyword_stems: t.Sequence[tuple[str, ...]]
 ) -> list[list[int]]:
-    """Token positions of each keyword via the precomputed term map.
+    """Token positions of each keyword via the packed term layer.
 
-    Head-stem occurrences are a dictionary lookup; phrase keywords verify
-    their remaining stems in order at each candidate position.  Produces
-    exactly the positions :func:`keyword_positions` derives from raw text.
+    Head-stem occurrences are a binary search over the paragraph's
+    id-sorted position run; phrase keywords verify their remaining stem
+    ids in order at each candidate position (an ``array`` slice compare,
+    no string materialization).  Produces exactly the positions
+    :func:`keyword_positions` derives from raw text: a stem the
+    vocabulary has never interned cannot occur in any paragraph, so it
+    matches nowhere on either path.
     """
-    stems_at = terms.stems_at
-    n = len(stems_at)
+    lookup = terms.vocab.lookup
+    n = terms.n_tokens
     positions: list[list[int]] = []
     for kstems in keyword_stems:
-        candidates = terms.positions_of(kstems[0])
+        head = lookup(kstems[0])
+        if head < 0:
+            positions.append([])
+            continue
+        candidates = terms.positions_of_id(head)
         if len(kstems) == 1:
             positions.append(list(candidates))
             continue
-        klen = len(kstems)
-        kst = tuple(kstems)
+        kids = array("i", (lookup(s) for s in kstems))
+        if min(kids) < 0:
+            positions.append([])
+            continue
+        klen = len(kids)
         positions.append(
             [
                 i
                 for i in candidates
-                if i + klen <= n and stems_at[i : i + klen] == kst
+                if i + klen <= n and terms.ids_at(i, klen) == kids
             ]
         )
     return positions

@@ -20,12 +20,14 @@ from ..observability.names import (
     CONJUNCTION_CACHE_HITS,
     CONJUNCTION_CACHE_MISSES,
     DOC_BYTES_READ,
+    INDEX_MEMORY_BYTES,
     N_KEYWORDS,
     POSTINGS_SCANNED,
     PS_PARAGRAPH_BYTES,
     RELAXATION_ROUNDS,
     STEM_CACHE_HITS,
     STEM_CACHE_MISSES,
+    VOCABULARY_SIZE,
 )
 from ..retrieval.collection import IndexedCorpus
 from .answer_processing import AnswerProcessor
@@ -159,6 +161,15 @@ class QAPipeline:
         self.metrics.gauge(STEM_CACHE_MISSES).set(
             float(SHARED_STEM_CACHE.misses)
         )
+        # Packed-index residency: structural bytes of the array-backed
+        # layers plus the size of the vocabulary coding their ids.
+        self.metrics.gauge(INDEX_MEMORY_BYTES).set(
+            float(sum(ix.stats.memory_bytes for ix in self.indexed.indexes))
+        )
+        if self.indexed.indexes:
+            self.metrics.gauge(VOCABULARY_SIZE).set(
+                float(len(self.indexed.indexes[0].vocab))
+            )
 
     # Expose module objects for partitioned (distributed) execution.
     def process_question(self, question: Question) -> ProcessedQuestion:

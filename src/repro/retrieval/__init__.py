@@ -2,7 +2,15 @@
 
 from .boolean import BooleanRetriever, RetrievalResult
 from .collection import IndexedCorpus
-from .inverted_index import CollectionIndex, IndexStats, ParagraphTerms, StemCache
+from .inverted_index import (
+    CollectionIndex,
+    IndexBuffers,
+    IndexStats,
+    ParagraphTerms,
+    StemCache,
+    StemSetView,
+)
+from .packing import attach_payload, indexes_to_payload, memory_footprint
 from .paragraphs import Paragraph, split_paragraphs
 from .prediction import QueryCostEstimate, predict_pr_cost, predict_pr_cost_corpus
 
@@ -12,11 +20,16 @@ __all__ = [
     "predict_pr_cost_corpus",
     "BooleanRetriever",
     "CollectionIndex",
+    "IndexBuffers",
     "IndexStats",
     "IndexedCorpus",
     "Paragraph",
     "ParagraphTerms",
     "RetrievalResult",
     "StemCache",
+    "StemSetView",
+    "attach_payload",
+    "indexes_to_payload",
+    "memory_footprint",
     "split_paragraphs",
 ]

@@ -17,6 +17,11 @@ Two hot-path optimizations (both behaviour-preserving):
   of repeated (Zipf-popular) questions reuse sub-conjunctions instead of
   rescanning posting lists (query-result caching, arXiv:1006.5059).
 
+Both operate directly on the index's packed id arrays: posting lists are
+read-only sorted doc-id views sliced out of one flat buffer, and the
+paragraph keyword-quorum filter probes the flat per-paragraph stem-id
+runs by binary search instead of comparing string sets.
+
 The engine reports, along with its results, the work it performed
 (postings scanned, document bytes read) so the simulation's cost model can
 charge realistic disk time for each sub-collection.  **Cached hits charge
@@ -194,15 +199,28 @@ class BooleanRetriever:
             return result
 
         # Paragraph extraction: read matching documents, keep paragraphs
-        # meeting the keyword quorum.
-        stems_per_kw = [set(kw.stems) for kw in active]
+        # meeting the keyword quorum.  A keyword is "present" when every
+        # one of its (distinct) stem ids occurs in the paragraph's sorted
+        # indexed-stem run — the packed equivalent of the old
+        # ``frozenset[str]`` subset test.  A stem the vocabulary has never
+        # seen maps to the negative sentinel, which no run contains.
+        lookup = self.index.vocab.lookup
+        ids_per_kw = [
+            tuple({lookup(s) for s in kw.stems}) for kw in active
+        ]
+        pset = self.index.paragraph_stem_ids
         needed = max(1, int(round(self.paragraph_quorum * len(active))))
         for doc_id in result.matched_docs:
             result.doc_bytes_read += self.index.doc_bytes(doc_id)
-            for para, para_stems in self.index.paragraphs_of(doc_id):
-                present = sum(
-                    1 for kw_stems in stems_per_kw if kw_stems <= para_stems
-                )
+            for para, lo, hi in self.index.paragraph_spans(doc_id):
+                present = 0
+                for kw_ids in ids_per_kw:
+                    for tid in kw_ids:
+                        j = bisect_left(pset, tid, lo, hi)
+                        if j >= hi or pset[j] != tid:
+                            break
+                    else:
+                        present += 1
                 if present >= needed:
                     result.paragraphs.append(para)
         return result
@@ -245,7 +263,7 @@ class BooleanRetriever:
     ) -> tuple[frozenset[int], int]:
         """Size-ordered sorted-array intersection with galloping probes."""
         charged = 0
-        arrays: list[list[int]] = []
+        arrays: list[memoryview] = []
         for s in stems:
             n = self.index.document_frequency(s)
             charged += n
@@ -265,11 +283,11 @@ class BooleanRetriever:
         charged = 0
         doc_sets: list[set[int]] = []
         for s in stems:
-            postings = self.index.postings(s)
+            postings = self.index.sorted_postings(s)
             charged += len(postings)
-            if not postings:
+            if not len(postings):
                 return frozenset(), charged
-            doc_sets.append(set(postings.keys()))
+            doc_sets.append(set(postings))
         if not doc_sets:
             return frozenset(), charged
         doc_sets.sort(key=len)

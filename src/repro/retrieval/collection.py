@@ -137,4 +137,5 @@ class IndexedCorpus:
             "n_postings": sum(ix.stats.n_postings for ix in self.indexes),
             "text_bytes": sum(ix.stats.text_bytes for ix in self.indexes),
             "index_bytes": sum(ix.stats.index_bytes for ix in self.indexes),
+            "memory_bytes": sum(ix.stats.memory_bytes for ix in self.indexes),
         }

@@ -1,0 +1,62 @@
+"""Tests for the bounded-LRU stem cache's eviction behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlp.porter import stem
+from repro.nlp.stemming import StemCache
+
+
+def test_eviction_is_least_recently_used():
+    cache = StemCache(maxsize=3)
+    for w in ("running", "jumping", "swimming"):
+        cache(w)
+    # Touch the oldest entry so it becomes the most recent.
+    cache("running")
+    # Inserting a fourth word must evict "jumping" (now the LRU), not
+    # "running" (insertion-oldest but recently used).
+    cache("flying")
+    misses = cache.misses
+    cache("running")
+    cache("swimming")
+    cache("flying")
+    assert cache.misses == misses  # all three still cached
+    cache("jumping")
+    assert cache.misses == misses + 1  # the evicted one re-derives
+
+
+def test_capacity_never_exceeded():
+    cache = StemCache(maxsize=2)
+    for w in ("alpha", "beta", "gamma", "delta", "alpha", "epsilon"):
+        cache(w)
+        assert len(cache) <= 2
+
+
+def test_hits_are_case_insensitive():
+    cache = StemCache(maxsize=8)
+    assert cache("Running") == stem("running")
+    hits = cache.hits
+    assert cache("RUNNING") == cache("running")
+    assert cache.hits == hits + 2  # both case variants hit the same entry
+    assert len(cache) == 1
+
+
+def test_values_always_match_raw_stem():
+    cache = StemCache(maxsize=2)  # tiny: constant churn
+    words = ["connection", "connected", "relational", "relating", "caresses"]
+    for w in words * 2:
+        assert cache(w) == stem(w)
+
+
+def test_clear_resets_counters():
+    cache = StemCache(maxsize=4)
+    cache("running")
+    cache("running")
+    cache.clear()
+    assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
+
+
+def test_maxsize_must_be_positive():
+    with pytest.raises(ValueError):
+        StemCache(maxsize=0)

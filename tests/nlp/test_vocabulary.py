@@ -1,0 +1,95 @@
+"""Tests for the dense-id term vocabulary (the packed index's coder)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.vocabulary import MISSING_ID, SHARED_VOCABULARY, Vocabulary
+
+
+def test_intern_assigns_dense_ids_in_first_seen_order():
+    v = Vocabulary()
+    assert v.intern("alpha") == 0
+    assert v.intern("beta") == 1
+    assert v.intern("gamma") == 2
+    assert len(v) == 3
+    assert v.table() == ["alpha", "beta", "gamma"]
+
+
+def test_ids_stable_across_reinterning():
+    v = Vocabulary()
+    first = {term: v.intern(term) for term in ("a", "b", "c", "d")}
+    # Re-intern in a different order, interleaved with new terms.
+    v.intern("e")
+    for term in ("d", "a", "c", "b"):
+        assert v.intern(term) == first[term]
+    assert v.intern("e") == 4
+    assert len(v) == 5
+
+
+def test_lookup_never_assigns():
+    v = Vocabulary(["x"])
+    assert v.lookup("y") == MISSING_ID
+    assert len(v) == 1
+    assert "y" not in v
+    assert v.lookup("x") == 0
+
+
+def test_missing_id_is_negative():
+    # The packed layers rely on the sentinel sorting below every real id.
+    assert MISSING_ID < 0
+
+
+def test_term_roundtrip_and_bulk_terms():
+    v = Vocabulary(["p", "q", "r"])
+    assert [v.term(i) for i in range(3)] == ["p", "q", "r"]
+    assert v.terms([2, 0, 1]) == ("r", "p", "q")
+
+
+def test_term_rejects_sentinel():
+    v = Vocabulary(["p"])
+    try:
+        v.term(MISSING_ID)
+    except IndexError:
+        pass
+    else:  # pragma: no cover - defends the packed-array invariant
+        raise AssertionError("term(MISSING_ID) must raise")
+
+
+def test_matches_prefix():
+    v = Vocabulary(["a", "b", "c"])
+    assert v.matches_prefix([])
+    assert v.matches_prefix(["a", "b"])
+    assert v.matches_prefix(["a", "b", "c"])
+    assert not v.matches_prefix(["a", "c"])
+    assert not v.matches_prefix(["a", "b", "c", "d"])
+
+
+def test_table_is_a_copy():
+    v = Vocabulary(["a"])
+    table = v.table()
+    table.append("mutant")
+    assert len(v) == 1
+    assert v.lookup("mutant") == MISSING_ID
+
+
+def test_shared_vocabulary_is_process_wide_singleton():
+    from repro.nlp import SHARED_VOCABULARY as exported
+
+    assert exported is SHARED_VOCABULARY
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.text(min_size=1, max_size=8)))
+def test_dense_id_space_property(terms):
+    """Ids are exactly 0..n-1 for n distinct terms, whatever the order."""
+    v = Vocabulary()
+    for term in terms:
+        v.intern(term)
+    distinct = list(dict.fromkeys(terms))
+    assert len(v) == len(distinct)
+    assert sorted(v.lookup(term) for term in distinct) == list(
+        range(len(distinct))
+    )
+    assert v.table() == distinct

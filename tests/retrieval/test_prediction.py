@@ -50,7 +50,8 @@ class TestPredict:
         from repro.nlp import Keyword
 
         stems = sorted(
-            index._postings, key=lambda s: index.document_frequency(s)
+            (term for term, _ in index.iter_terms()),
+            key=lambda s: index.document_frequency(s),
         )
         rare, frequent = stems[0], stems[-1]
         kw_rare = Keyword(text=rare, stems=(rare,), priority=0)

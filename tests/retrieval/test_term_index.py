@@ -67,7 +67,9 @@ def test_sorted_postings_match_postings():
     )
     for s in ("alpha", "beta", "gamma", "delta", "nope"):
         stemmed = cached_stem(s)
-        assert index.sorted_postings(stemmed) == sorted(index.postings(stemmed))
+        view = index.sorted_postings(stemmed)
+        assert list(view) == sorted(index.postings(stemmed))
+        assert view.readonly  # structural "callers must not mutate"
 
 
 # -- galloping intersection -------------------------------------------------------
