@@ -1,0 +1,37 @@
+"""Benchmark — real serving layer under the overload protocol.
+
+Drives ``repro.serving`` through a below/at/above-saturation sweep and
+adds the rendered section to the report.  Only the protocol invariants
+can fail the run (conservation, shedding under overload, bounded
+accepted-p99); throughput and latency numbers are informational — the
+checked-in trajectory lives in BENCH_serving.json via
+``python -m repro loadgen``.
+"""
+
+from repro.serving import LoadgenConfig, format_serving, run_loadgen
+
+
+def test_serving_overload(benchmark, report):
+    summary = benchmark.pedantic(
+        run_loadgen,
+        args=(
+            LoadgenConfig(
+                n_questions=150,
+                n_unique=50,
+                workers=3,
+                load_factors=(0.5, 1.0, 2.0),
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary["ok"], summary["overload"]
+    for run in summary["runs"]:
+        assert run["conservation_ok"], run["label"]
+    over = summary["overload"]
+    assert over["shed_nonzero_at_overload"]
+    assert over["p99_ratio"] <= over["ratio_limit"]
+    report(
+        "Serving — admission control under offered load",
+        format_serving(summary),
+    )

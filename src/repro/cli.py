@@ -23,6 +23,15 @@ simbench    simulation-core benchmark: events/sec microbench (baseline
             round trip (build/serialize/attach + memory footprint);
             writes BENCH_simperf.json and fails on any determinism or
             round-trip mismatch
+serve       long-lived admission-controlled server over the real
+            pipeline: worker processes attach to the shared packed-index
+            artifact, questions arrive on stdin, overload is shed with a
+            typed error; prints the conservation ledger on drain
+loadgen     drive the server through the Section 6.1 overload protocol
+            (seeded Zipf stream at offered loads below/at/above measured
+            saturation); writes BENCH_serving.json and, with
+            ``--check-overload``, fails unless overload sheds load,
+            accepted-p99 stays bounded, and question conservation holds
 
 ``chaos``, ``experiments`` (alias ``exp``) and ``simbench`` accept
 ``--jobs N`` (or ``auto``) to run independent experiment cells on a
@@ -227,6 +236,147 @@ def _cmd_simbench(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import sys as _sys
+    import time as _time
+
+    from .corpus import CorpusConfig
+    from .serving import AdmissionConfig, QAServer, ServerConfig
+
+    config = ServerConfig(
+        corpus=CorpusConfig(seed=args.corpus_seed),
+        admission=AdmissionConfig(
+            max_concurrent=args.admit_concurrency,
+            max_queue_depth=args.queue_depth,
+            est_service_s=args.service_time,
+            deadline_s=args.deadline,
+            rate_limit_qps=args.rate_limit,
+        ),
+        workers=args.workers,
+        drain_timeout_s=args.drain_timeout,
+    )
+    server = QAServer(config)
+    print(
+        f"starting {args.workers} worker(s) "
+        f"(admission: {args.admit_concurrency} concurrent, "
+        f"queue depth {args.queue_depth}) ...",
+        file=_sys.stderr,
+    )
+    qid = 0
+    with server:
+        attach = server.pool.attach_report if server.pool is not None else {}
+        sources = [src for src, _ in attach.values()]
+        print(
+            f"ready: {sources.count('cache')} worker(s) attached to the "
+            f"packed-index artifact, {sources.count('built')} rebuilt; "
+            "one question per line, EOF or Ctrl-C drains",
+            file=_sys.stderr,
+        )
+        try:
+            for line in _sys.stdin:
+                text = line.strip()
+                if not text:
+                    continue
+                decision = server.submit(text, qid=qid)
+                if not decision.accepted:
+                    reason = decision.shed_reason
+                    print(
+                        f"[{qid}] OVERLOAD({reason.value if reason else '?'}): "
+                        f"queue depth {decision.queue_depth}, predicted wait "
+                        f"{decision.predicted_wait_s * 1e3:.1f} ms"
+                    )
+                qid += 1
+                # Surface any finished answers without blocking the REPL.
+                server.poll()
+                _print_new_answers(server)
+        except KeyboardInterrupt:
+            print("interrupt: draining ...", file=_sys.stderr)
+        deadline = _time.monotonic() + args.drain_timeout
+        while server.in_flight > 0 and _time.monotonic() < deadline:
+            if server.poll() == 0:
+                _time.sleep(0.005)
+            _print_new_answers(server)
+        ledger = server.drain()
+        _print_new_answers(server)
+    print(f"drained: {ledger}", file=_sys.stderr)
+    if not ledger.balanced:
+        raise SystemExit("serve FAILED: conservation ledger imbalanced")
+
+
+_printed_responses = 0
+
+
+def _print_new_answers(server: t.Any) -> bool:
+    """Print answered responses not yet shown; True when any were printed."""
+    global _printed_responses
+    new = server.responses[_printed_responses:]
+    if not new:
+        return False
+    for r in new:
+        if r.answered:
+            top = r.answers[0][0] if r.answers else "(no answer)"
+            print(
+                f"[{r.qid}] {top}  "
+                f"(latency {r.latency_s * 1e3:.1f} ms, "
+                f"wait {r.admission_wait_s * 1e3:.1f} ms, "
+                f"worker {r.worker_pid})"
+            )
+    _printed_responses = len(server.responses)
+    return True
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> None:
+    import json
+
+    from .corpus import CorpusConfig
+    from .serving import (
+        LoadgenConfig,
+        format_serving,
+        run_loadgen,
+        write_serving_json,
+    )
+
+    config = LoadgenConfig(
+        corpus=CorpusConfig(seed=args.corpus_seed),
+        n_questions=args.questions,
+        n_unique=args.unique,
+        zipf_exponent=args.zipf,
+        workload_seed=args.seed,
+        workers=args.workers,
+        load_factors=tuple(args.load_factors),
+        rate_qps=args.rate,
+        est_service_s=args.service_time,
+        max_concurrent=args.admit_concurrency,
+        max_queue_depth=args.queue_depth,
+        deadline_s=args.deadline,
+        rate_limit_qps=args.rate_limit,
+        pace=not args.no_pace,
+        drain_timeout_s=args.drain_timeout,
+        record_decisions=args.decisions_out is not None,
+    )
+    summary = run_loadgen(config)
+    print(format_serving(summary))
+    out = write_serving_json(summary, args.output)
+    print(f"wrote {out}")
+    if args.decisions_out:
+        decisions = {
+            run["label"]: run.get("decisions", []) for run in summary["runs"]
+        }
+        with open(args.decisions_out, "w") as fh:
+            json.dump(decisions, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.decisions_out}")
+    if not all(r["conservation_ok"] for r in summary["runs"]):
+        raise SystemExit(
+            "loadgen FAILED: question conservation violated "
+            "(answered + shed + drained != submitted)"
+        )
+    if args.check_overload and not summary["overload"].get("ok", False):
+        raise SystemExit(
+            "loadgen FAILED: overload criteria not met "
+            f"({json.dumps(summary['overload'], default=str)})"
+        )
+
+
 def main(argv: t.Sequence[str] | None = None) -> None:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -380,6 +530,112 @@ def main(argv: t.Sequence[str] | None = None) -> None:
         help="where to write the JSON summary",
     )
     simbench.set_defaults(func=_cmd_simbench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived admission-controlled server (questions on stdin)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=3,
+        help="worker processes (0 = inline execution)",
+    )
+    serve.add_argument("--corpus-seed", type=int, default=7)
+    serve.add_argument(
+        "--admit-concurrency", type=int, default=3,
+        help="modeled in-service slots (the paper's FIFO-of-3)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=4,
+        help="bounded admission queue length before QUEUE_FULL sheds",
+    )
+    serve.add_argument(
+        "--service-time", type=float, default=0.05,
+        help="estimated seconds per question for wait prediction",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-question deadline seconds (default: 6x service time)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-client token-bucket q/s (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=60.0,
+        help="seconds in-flight questions get to finish at shutdown",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="overload protocol: Zipf stream at offered loads around saturation",
+    )
+    loadgen.add_argument(
+        "--questions", type=int, default=200,
+        help="questions per offered-load run",
+    )
+    loadgen.add_argument(
+        "--unique", type=int, default=60,
+        help="distinct questions in the Zipf pool",
+    )
+    loadgen.add_argument(
+        "--zipf", type=float, default=1.1, help="Zipf exponent",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=7, help="workload + arrival seed",
+    )
+    loadgen.add_argument("--corpus-seed", type=int, default=7)
+    loadgen.add_argument(
+        "--workers", type=int, default=3,
+        help="worker processes (0 = inline execution)",
+    )
+    loadgen.add_argument(
+        "--load-factors", type=float, nargs="+", default=[0.5, 1.0, 2.0],
+        help="offered load as multiples of measured saturation",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=None,
+        help="explicit offered q/s (skips calibration; needs --service-time)",
+    )
+    loadgen.add_argument(
+        "--service-time", type=float, default=None,
+        help="explicit est service seconds (skips calibration with --rate)",
+    )
+    loadgen.add_argument(
+        "--admit-concurrency", type=int, default=3,
+        help="modeled in-service slots (the paper's FIFO-of-3)",
+    )
+    loadgen.add_argument(
+        "--queue-depth", type=int, default=4,
+        help="bounded admission queue length before QUEUE_FULL sheds",
+    )
+    loadgen.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-question deadline seconds (default: 6x service time)",
+    )
+    loadgen.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-client token-bucket q/s (0 = unlimited)",
+    )
+    loadgen.add_argument(
+        "--no-pace", action="store_true",
+        help="submit the whole schedule immediately (decisions unchanged)",
+    )
+    loadgen.add_argument("--drain-timeout", type=float, default=60.0)
+    loadgen.add_argument(
+        "--decisions-out", default=None,
+        help="also dump the per-run admission decision sequences as JSON",
+    )
+    loadgen.add_argument(
+        "--output", default="BENCH_serving.json",
+        help="where to write the JSON summary",
+    )
+    loadgen.add_argument(
+        "--check-overload", action="store_true",
+        help="exit nonzero unless the overload criteria hold "
+        "(nonzero shed, bounded accepted-p99, exact conservation)",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     args = parser.parse_args(argv)
     args.func(args)

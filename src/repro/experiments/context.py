@@ -70,12 +70,14 @@ from ..retrieval import (
 __all__ = [
     "ExperimentContext",
     "build_context",
+    "build_serving_context",
     "corpus_cache_key",
     "default_context",
     "index_cache_selftest",
     "load_or_build_indexes",
     "load_or_generate_corpus",
     "complex_profiles",
+    "sweep_stale_cache_dirs",
 ]
 
 #: Bump when a pickled artifact layout changes; stale entries are ignored.
@@ -282,6 +284,99 @@ def build_context(
         index_source=index_source,
         index_seconds=index_seconds,
     )
+
+
+def build_serving_context(
+    config: CorpusConfig, metrics: t.Any = None
+) -> ExperimentContext:
+    """Worker-side context: attach to the cached artifacts, skip questions.
+
+    Serving workers receive question *text* over the request queue, so
+    unlike :func:`build_context` they never need the generated question
+    set — only a queryable pipeline.  A worker on a warm machine pays
+    one corpus unpickle plus one packed-payload attach (both from the v2
+    disk artifact its parent wrote), no tokenize/stem/intern rebuild.
+    Not memoized: each worker process calls it exactly once.
+    """
+    corpus = load_or_generate_corpus(config)
+    indexes, index_source, index_seconds = load_or_build_indexes(
+        corpus, config, metrics
+    )
+    indexed = IndexedCorpus(corpus, indexes=indexes)
+    recognizer = EntityRecognizer(
+        corpus.knowledge.gazetteer(),
+        extra_nationalities=corpus.knowledge.nationalities,
+    )
+    return ExperimentContext(
+        corpus=corpus,
+        indexed=indexed,
+        recognizer=recognizer,
+        pipeline=QAPipeline(indexed, recognizer),
+        questions=[],
+        model=CostModel.default(),
+        index_source=index_source,
+        index_seconds=index_seconds,
+    )
+
+
+#: Naming scheme of per-process cache sandboxes (the test suite's
+#: ``REPRO_CACHE_DIR``): ``<prefix><pid>-<token>`` in the system tempdir.
+STALE_CACHE_PREFIX = "repro-test-cache-"
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` currently names a live process."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, just not ours
+        return True
+    except OSError:
+        return True  # be conservative: never sweep on uncertainty
+    return True
+
+
+def sweep_stale_cache_dirs(
+    root: str | Path | None = None, prefix: str = STALE_CACHE_PREFIX
+) -> list[Path]:
+    """Remove per-process cache sandboxes whose owning process is gone.
+
+    The test suite gives every pytest session its own ``REPRO_CACHE_DIR``
+    named ``<prefix><pid>-<token>`` and registers ``atexit`` cleanup —
+    but ``atexit`` never runs when the process is killed, so orphaned
+    sandboxes accumulate in the tempdir.  This sweep (run at the start of
+    the next session) deletes any sandbox whose embedded pid no longer
+    names a live process.  Directories that do not match the strict
+    ``<prefix><digits>-...`` shape are left alone.
+
+    Returns the directories removed.
+    """
+    import shutil
+
+    base = Path(root) if root is not None else Path(tempfile.gettempdir())
+    removed: list[Path] = []
+    try:
+        entries = list(base.iterdir())
+    except OSError:
+        return removed
+    for entry in entries:
+        name = entry.name
+        if not name.startswith(prefix):
+            continue
+        pid_part = name[len(prefix):].split("-", 1)[0]
+        if not pid_part.isdigit():
+            continue
+        if _pid_alive(int(pid_part)):
+            continue
+        if not entry.is_dir():
+            continue
+        shutil.rmtree(entry, ignore_errors=True)
+        if not entry.exists():
+            removed.append(entry)
+    return removed
 
 
 def index_cache_selftest(

@@ -36,6 +36,15 @@ __all__ = [
     "QA_MIGRATION_FAILURES",
     "RELAXATION_ROUNDS",
     "PS_PARAGRAPH_BYTES",
+    "SERVING_ADMISSION_WAIT_S",
+    "SERVING_ANSWERED",
+    "SERVING_DRAINED",
+    "SERVING_LATENCY_S",
+    "SERVING_QUEUE_DEPTH",
+    "SERVING_SERVICE_S",
+    "SERVING_SHED",
+    "SERVING_SHED_PREFIX",
+    "SERVING_SUBMITTED",
     "STEM_CACHE_HITS",
     "STEM_CACHE_MISSES",
     "TASK_RETRIES",
@@ -89,3 +98,24 @@ MONITOR_BROADCASTS = "monitor.broadcasts"
 MONITOR_BUSY_S = "monitor.busy_s"
 #: Admission-queue wait per question hop (histogram, seconds).
 NODE_QUEUE_WAIT_S = "node.queue_wait_s"
+
+# -- serving layer (the real-pipeline server, PR 7) ---------------------------
+#: Terminal-outcome counters; conservation requires
+#: ``answered + shed + drained == submitted`` exactly.
+SERVING_SUBMITTED = "serving.submitted"
+SERVING_ANSWERED = "serving.answered"
+SERVING_SHED = "serving.shed"
+SERVING_DRAINED = "serving.drained"
+#: Per-reason shed counters: ``serving.shed.<reason>`` (queue_full,
+#: deadline, rate_limited, draining — the ShedReason values).
+SERVING_SHED_PREFIX = "serving.shed."
+#: Accepted questions not yet completed (gauge).
+SERVING_QUEUE_DEPTH = "serving.queue_depth"
+#: Measured wait between submit and worker pickup (histogram, seconds)
+#: — the serving counterpart of NODE_QUEUE_WAIT_S, and the quantity the
+#: attribution pass buckets as ``queueing``.
+SERVING_ADMISSION_WAIT_S = "serving.admission_wait_s"
+#: End-to-end submit-to-answer latency of accepted questions (histogram).
+SERVING_LATENCY_S = "serving.latency_s"
+#: Pipeline execution time inside the worker (histogram, seconds).
+SERVING_SERVICE_S = "serving.service_s"

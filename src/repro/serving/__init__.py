@@ -1,0 +1,67 @@
+"""Serving layer: the real Q/A pipeline behind bounded admission control.
+
+The batch experiment drivers answer a fixed workload and exit; this
+package wraps :class:`~repro.qa.pipeline.QAPipeline` in a **long-lived
+multi-worker server** so the real pipeline can be subjected to the same
+overload protocol as the simulated cluster:
+
+* :mod:`repro.serving.admission` — deterministic bounded-FIFO admission
+  (the simulator's FIFO-of-3 node discipline), per-client token-bucket
+  rate limits, deadline-aware load shedding;
+* :mod:`repro.serving.workers` — worker processes attaching to the
+  shared v2 packed-index artifact (zero rebuild per process);
+* :mod:`repro.serving.server` — the :class:`QAServer` lifecycle with
+  conservation accounting, metrics, and span trees;
+* :mod:`repro.serving.loadgen` — the Section 6.1-style seeded workload
+  driver (``python -m repro loadgen``), emitting ``BENCH_serving.json``.
+
+CLI: ``python -m repro serve`` (interactive stdin server) and
+``python -m repro loadgen`` (offered-load sweep).
+"""
+
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from .loadgen import (
+    LoadgenConfig,
+    format_serving,
+    run_loadgen,
+    write_serving_json,
+    zipf_workload,
+)
+from .protocol import (
+    ConservationLedger,
+    Outcome,
+    OverloadError,
+    ServeRequest,
+    ServeResponse,
+    ShedReason,
+)
+from .server import QAServer, ServerConfig
+from .workers import ExecutionResult, InlineExecutor, ProcessWorkerPool
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ConservationLedger",
+    "ExecutionResult",
+    "InlineExecutor",
+    "LoadgenConfig",
+    "Outcome",
+    "OverloadError",
+    "ProcessWorkerPool",
+    "QAServer",
+    "ServeRequest",
+    "ServeResponse",
+    "ServerConfig",
+    "ShedReason",
+    "TokenBucket",
+    "format_serving",
+    "run_loadgen",
+    "write_serving_json",
+    "zipf_workload",
+]

@@ -1,0 +1,272 @@
+"""Bounded admission control mirroring the simulator's node discipline.
+
+The simulated cluster nodes execute at most three questions concurrently
+and park the rest in a FIFO queue
+(:class:`repro.core.node.NodeConfig.max_concurrent_questions`, Section
+4.2's "best throughput at 2-3 simultaneous questions").  The serving
+layer applies the *same* discipline at its front door, with one crucial
+difference from the simulator: the queue is **bounded**, and a question
+that cannot be queued (or that would miss its deadline even if queued)
+is rejected immediately with a typed
+:class:`~repro.serving.protocol.OverloadError` instead of waiting
+without limit.
+
+Determinism
+-----------
+The controller is a pure state machine over *logical* arrival
+timestamps: a :math:`G/G/c` queue with ``max_concurrent`` modelled
+service slots and a fixed per-question service-time estimate.  Given the
+same arrival schedule and configuration, the accept/shed decision
+sequence is **byte-identical** regardless of how many OS worker
+processes execute the accepted questions or how fast the machine is —
+the same invariant the parallel experiment engine keeps for ``--jobs``.
+Worker count changes wall-clock throughput, never decisions, which is
+what lets the loadgen compare real serving runs against the simulated
+cluster under one overload protocol.
+
+Rate limiting is per-client token buckets refilled on the same logical
+clock, so it shares the determinism property.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as t
+from dataclasses import dataclass, field
+
+from .protocol import ShedReason
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionConfig:
+    """Knobs of the admission discipline."""
+
+    #: Modelled concurrent service slots — the FIFO-of-3 node discipline.
+    max_concurrent: int = 3
+    #: Questions allowed to wait beyond the running set; arrivals past
+    #: this bound are shed with ``QUEUE_FULL``.
+    max_queue_depth: int = 4
+    #: Modelled per-question service time (seconds); the loadgen
+    #: calibrates this against the real pipeline before driving load.
+    est_service_s: float = 0.05
+    #: Default total sojourn budget (wait + service, seconds); arrivals
+    #: whose predicted sojourn exceeds it are shed with ``DEADLINE``.
+    #: ``None`` derives ``6 x est_service_s``.
+    deadline_s: float | None = None
+    #: Per-client token-bucket refill rate (questions/second); 0 disables
+    #: rate limiting.
+    rate_limit_qps: float = 0.0
+    #: Token-bucket capacity (burst allowance).
+    rate_burst: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if self.est_service_s <= 0:
+            raise ValueError("est_service_s must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.rate_limit_qps < 0:
+            raise ValueError("rate_limit_qps must be >= 0")
+        if self.rate_limit_qps > 0 and self.rate_burst < 1:
+            raise ValueError("rate_burst must be >= 1 when rate limiting")
+
+    @property
+    def effective_deadline_s(self) -> float:
+        """The sojourn budget actually enforced."""
+        if self.deadline_s is not None:
+            return self.deadline_s
+        return 6.0 * self.est_service_s
+
+
+class TokenBucket:
+    """Deterministic token bucket on an externally supplied clock.
+
+    Refill happens lazily at :meth:`try_take` time from the elapsed
+    logical seconds, so two runs presenting the same timestamps make the
+    same grant/deny sequence — no hidden wall-clock reads.
+    """
+
+    __slots__ = ("rate_qps", "burst", "tokens", "last_s")
+
+    def __init__(self, rate_qps: float, burst: float, start_s: float = 0.0) -> None:
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate_qps = rate_qps
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_s = float(start_s)
+
+    def try_take(self, now_s: float) -> bool:
+        """Take one token at logical time ``now_s``; False when empty.
+
+        ``now_s`` earlier than the last grant is clamped (no refund), so
+        slightly out-of-order timestamps cannot mint tokens.
+        """
+        if now_s > self.last_s:
+            self.tokens = min(
+                self.burst, self.tokens + (now_s - self.last_s) * self.rate_qps
+            )
+            self.last_s = now_s
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """One accept/shed decision, in submission order.
+
+    The tuple of these (see :meth:`AdmissionController.decision_key`) is
+    the determinism-regression fingerprint: byte-identical across worker
+    counts for a seeded workload.
+    """
+
+    seq: int
+    qid: int
+    arrival_s: float
+    accepted: bool
+    shed_reason: ShedReason | None
+    #: Modelled wait before a service slot frees (0 when admitted idle).
+    predicted_wait_s: float
+    #: Modelled waiters ahead at arrival (after this decision, if accepted).
+    queue_depth: int
+
+    def key(self) -> tuple[t.Any, ...]:
+        """Hashable, repr-stable identity used for determinism digests."""
+        return (
+            self.seq,
+            self.qid,
+            self.accepted,
+            None if self.shed_reason is None else self.shed_reason.value,
+            round(self.predicted_wait_s, 9),
+            self.queue_depth,
+        )
+
+
+@dataclass(slots=True)
+class AdmissionController:
+    """The bounded-FIFO admission state machine.
+
+    Arrivals must be presented in non-decreasing ``arrival_s`` order
+    (the controller clamps small regressions rather than rejecting them,
+    so a real clock with jitter still works).
+    """
+
+    config: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Modelled completion times of questions occupying service slots
+    #: (min-heap, at most ``max_concurrent`` entries).
+    _busy: list[float] = field(default_factory=list)
+    #: Modelled start times of admitted questions that had to queue.
+    _queued_starts: list[float] = field(default_factory=list)
+    _clock_s: float = 0.0
+    draining: bool = False
+    decisions: list[AdmissionDecision] = field(default_factory=list)
+    _buckets: dict[str, TokenBucket] = field(default_factory=dict)
+
+    def _advance(self, now_s: float) -> float:
+        """Move the logical clock forward, starting queued work."""
+        now_s = max(now_s, self._clock_s)
+        self._clock_s = now_s
+        if self._queued_starts:
+            self._queued_starts = [s for s in self._queued_starts if s > now_s]
+        return now_s
+
+    def queue_depth(self, now_s: float) -> int:
+        """Modelled waiters (admitted but not yet started) at ``now_s``."""
+        self._advance(now_s)
+        return len(self._queued_starts)
+
+    def predicted_wait_s(self, now_s: float) -> float:
+        """Modelled wait a new arrival at ``now_s`` would experience.
+
+        ``_busy`` is the slot-free heap of the :math:`G/G/c` model — its
+        minimum is when the earliest of the ``max_concurrent`` service
+        slots next frees, already accounting for queued admissions.
+        """
+        now_s = self._advance(now_s)
+        if len(self._busy) < self.config.max_concurrent:
+            return 0.0
+        return max(0.0, self._busy[0] - now_s)
+
+    def submit(
+        self,
+        seq: int,
+        qid: int,
+        arrival_s: float,
+        client: str = "default",
+        deadline_s: float | None = None,
+    ) -> AdmissionDecision:
+        """Decide accept/shed for one arrival; records and returns it."""
+        now_s = self._advance(arrival_s)
+        cfg = self.config
+
+        def shed(reason: ShedReason, wait: float = 0.0) -> AdmissionDecision:
+            d = AdmissionDecision(
+                seq=seq,
+                qid=qid,
+                arrival_s=now_s,
+                accepted=False,
+                shed_reason=reason,
+                predicted_wait_s=wait,
+                queue_depth=len(self._queued_starts),
+            )
+            self.decisions.append(d)
+            return d
+
+        if self.draining:
+            return shed(ShedReason.DRAINING)
+        if cfg.rate_limit_qps > 0:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    cfg.rate_limit_qps, cfg.rate_burst, start_s=now_s
+                )
+            if not bucket.try_take(now_s):
+                return shed(ShedReason.RATE_LIMITED)
+        wait = self.predicted_wait_s(now_s)
+        if wait > 0 and len(self._queued_starts) >= cfg.max_queue_depth:
+            return shed(ShedReason.QUEUE_FULL, wait)
+        budget = deadline_s if deadline_s is not None else cfg.effective_deadline_s
+        if wait + cfg.est_service_s > budget:
+            return shed(ShedReason.DEADLINE, wait)
+
+        start = now_s + wait
+        end = start + cfg.est_service_s
+        if len(self._busy) < cfg.max_concurrent:
+            heapq.heappush(self._busy, end)
+        else:
+            heapq.heapreplace(self._busy, end)
+        if wait > 0:
+            self._queued_starts.append(start)
+        d = AdmissionDecision(
+            seq=seq,
+            qid=qid,
+            arrival_s=now_s,
+            accepted=True,
+            shed_reason=None,
+            predicted_wait_s=wait,
+            queue_depth=len(self._queued_starts),
+        )
+        self.decisions.append(d)
+        return d
+
+    def start_draining(self) -> None:
+        """Stop accepting: every further submit sheds with ``DRAINING``."""
+        self.draining = True
+
+    def decision_key(self) -> tuple[tuple[t.Any, ...], ...]:
+        """The full decision sequence as a stable, hashable fingerprint."""
+        return tuple(d.key() for d in self.decisions)

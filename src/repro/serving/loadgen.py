@@ -1,0 +1,434 @@
+"""Workload driver: drive the real server through the overload protocol.
+
+The simulator's evaluation (Section 6.1) brings the cluster to a high
+load state with a seeded question stream; the loadgen replays the *same
+protocol* against the real serving layer — the identical Zipf-popular
+question mix the throughput bench uses, Poisson arrivals at a controlled
+offered rate, one seed end to end — so real and simulated behaviour
+under overload can be compared number for number.
+
+Protocol
+--------
+1. **Calibrate**: a closed-loop burst through the worker pool measures
+   the real saturation throughput (q/s with every service slot busy) and
+   the mean per-question service time; the admission model's
+   ``est_service_s`` is set so modelled capacity equals measured
+   capacity.
+2. **Sweep**: for each offered-load factor (default below / at / above
+   saturation), submit the seeded stream open-loop at
+   ``factor x saturation`` q/s and let admission shed what cannot be
+   served in time.
+3. **Account**: every run must conserve questions exactly
+   (``answered + shed + drained == submitted``), and the overload run
+   must shed rather than queue — its accepted-question p99 stays within
+   ``3x`` of the at-saturation p99.
+
+``run_loadgen`` returns a JSON-ready summary (written to
+``BENCH_serving.json``); the accept/shed **decision digest** in each run
+is byte-identical across ``--workers`` counts for a fixed rate and
+service estimate, which the determinism regression test pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+import typing as t
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..corpus import CorpusConfig, TrecQuestion
+from ..workload.arrivals import poisson_arrivals
+from ..workload.metrics import summarize_samples
+from .admission import AdmissionConfig
+from .server import QAServer, ServerConfig
+from .workers import InlineExecutor, ProcessWorkerPool
+
+__all__ = [
+    "LoadgenConfig",
+    "format_serving",
+    "run_loadgen",
+    "write_serving_json",
+    "zipf_workload",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LoadgenConfig:
+    """Knobs of a serving load-generation sweep."""
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    #: Total questions per run (Zipf-repeated populars, like the bench).
+    n_questions: int = 200
+    #: Distinct questions the stream draws from.
+    n_unique: int = 60
+    #: Zipf popularity exponent of the question distribution.
+    zipf_exponent: float = 1.1
+    #: Seed of the question picks *and* the arrival schedule.
+    workload_seed: int = 7
+    #: Worker processes (0 = inline execution in this process).
+    workers: int = 3
+    #: Offered loads as multiples of measured saturation.
+    load_factors: tuple[float, ...] = (0.5, 1.0, 2.0)
+    #: Explicit offered rate (q/s); overrides ``load_factors`` with one
+    #: run and skips saturation calibration.
+    rate_qps: float | None = None
+    #: Explicit admission service-time estimate; skips calibration.
+    est_service_s: float | None = None
+    #: Closed-loop questions used to measure saturation.
+    calibration_questions: int = 32
+    #: Admission discipline (est_service_s inside is overridden).
+    max_concurrent: int = 3
+    max_queue_depth: int = 4
+    deadline_s: float | None = None
+    rate_limit_qps: float = 0.0
+    rate_burst: float = 4.0
+    #: Sleep to the arrival schedule (False floods as fast as possible;
+    #: decisions are unchanged because they use scheduled times).
+    pace: bool = True
+    drain_timeout_s: float = 60.0
+    #: Keep the full per-question decision list in each run record.
+    record_decisions: bool = False
+
+    def admission(self, est_service_s: float) -> AdmissionConfig:
+        """The admission config this sweep drives, at a given estimate."""
+        return AdmissionConfig(
+            max_concurrent=self.max_concurrent,
+            max_queue_depth=self.max_queue_depth,
+            est_service_s=est_service_s,
+            deadline_s=self.deadline_s,
+            rate_limit_qps=self.rate_limit_qps,
+            rate_burst=self.rate_burst,
+        )
+
+
+def zipf_workload(
+    questions: t.Sequence[TrecQuestion],
+    n_questions: int,
+    n_unique: int,
+    zipf_exponent: float,
+    seed: int,
+) -> list[tuple[int, str]]:
+    """The bench/simulator question stream: Zipf-popular repeated picks.
+
+    Identical construction to the throughput bench (rank ``r`` drawn
+    with probability ∝ ``1/r^s``), so serving, bench, and simulator all
+    answer the same stream for the same seed.
+    """
+    unique = list(questions[: max(1, min(n_unique, len(questions)))])
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, len(unique) + 1) ** zipf_exponent
+    weights /= weights.sum()
+    picks = rng.choice(len(unique), size=n_questions, p=weights)
+    return [(unique[i].qid, unique[i].text) for i in picks]
+
+
+def _settle(server: QAServer, timeout_s: float) -> None:
+    """Poll until every accepted question completed (or timeout)."""
+    deadline = time.monotonic() + timeout_s
+    while server.in_flight > 0 and time.monotonic() < deadline:
+        if server.poll() == 0:
+            time.sleep(0.001)
+
+
+def _calibrate(
+    config: LoadgenConfig, workload: t.Sequence[tuple[int, str]]
+) -> dict[str, t.Any]:
+    """Closed-loop burst: measure real saturation q/s and mean service."""
+    k = max(1, min(config.calibration_questions, len(workload)))
+    items = list(workload[:k])
+    if config.workers >= 1:
+        pool: t.Any = ProcessWorkerPool(config.corpus, config.workers)
+    else:
+        from ..experiments.context import build_serving_context
+
+        pool = InlineExecutor(build_serving_context(config.corpus).pipeline)
+    pool.start()
+    try:
+        t0 = time.time()
+        for i, (qid, text) in enumerate(items):
+            pool.submit(i, qid, text, time.time())
+        results = list(pool.poll())
+        deadline = time.monotonic() + 120.0
+        while len(results) < k and time.monotonic() < deadline:
+            got = pool.poll()
+            if got:
+                results.extend(got)
+            else:
+                time.sleep(0.001)
+        wall_s = max(time.time() - t0, 1e-9)
+    finally:
+        pool.drain(10.0)
+        pool.stop()
+    if len(results) < k:
+        raise RuntimeError(
+            f"calibration incomplete: {len(results)}/{k} questions returned"
+        )
+    service_mean_s = sum(r.service_s for r in results) / k
+    saturation_qps = k / wall_s
+    return {
+        "n_questions": k,
+        "wall_s": wall_s,
+        "saturation_qps": saturation_qps,
+        "service_mean_s": service_mean_s,
+        #: Modelled per-question service such that ``max_concurrent``
+        #: slots reproduce the measured capacity.
+        "est_service_s": config.max_concurrent / saturation_qps,
+        "workers": getattr(pool, "workers", 0),
+    }
+
+
+def _run_once(
+    config: LoadgenConfig,
+    workload: t.Sequence[tuple[int, str]],
+    rate_qps: float,
+    est_service_s: float,
+    label: str,
+    load_factor: float | None,
+) -> dict[str, t.Any]:
+    """One open-loop serving run at a fixed offered rate."""
+    schedule = poisson_arrivals(
+        len(workload), rate_qps, seed=config.workload_seed
+    )
+    server_config = ServerConfig(
+        corpus=config.corpus,
+        admission=config.admission(est_service_s),
+        workers=config.workers,
+        drain_timeout_s=config.drain_timeout_s,
+    )
+    server = QAServer(server_config)
+    with server:
+        wall0 = time.time()
+        for (qid, text), arrival in zip(workload, schedule):
+            if config.pace:
+                lag = (wall0 + arrival) - time.time()
+                if lag > 0:
+                    time.sleep(lag)
+            server.submit(text, qid=qid, arrival_s=arrival)
+            server.poll()
+        _settle(server, config.drain_timeout_s)
+        ledger = server.drain()
+        makespan_s = max(time.time() - wall0, 1e-9)
+
+        answered = [r for r in server.responses if r.answered]
+        latencies = [r.latency_s for r in answered]
+        waits = [r.admission_wait_s for r in answered]
+        services = [r.service_s for r in answered]
+        decision_key = server.admission.decision_key()
+        digest = hashlib.sha256(repr(decision_key).encode("utf-8")).hexdigest()
+        attach = getattr(server.pool, "attach_report", {})
+        sources = [src for src, _ in attach.values()]
+        run: dict[str, t.Any] = {
+            "label": label,
+            "load_factor": load_factor,
+            "offered_qps": rate_qps,
+            "schedule_span_s": schedule[-1] if schedule else 0.0,
+            "makespan_s": makespan_s,
+            "throughput_qps": ledger.answered / makespan_s,
+            "ledger": ledger.to_dict(),
+            "latency_s": summarize_samples(latencies).to_dict(),
+            "admission_wait_s": summarize_samples(waits).to_dict(),
+            "service_s": summarize_samples(services).to_dict(),
+            "attribution": server.attribution_summary(),
+            "decision_digest": digest,
+            "n_decisions": len(decision_key),
+            "workers": {
+                "n": config.workers,
+                "attached_from_cache": sources.count("cache"),
+                "built": sources.count("built"),
+            },
+            "conservation_ok": ledger.balanced,
+        }
+        if config.record_decisions:
+            run["decisions"] = [list(k) for k in decision_key]
+        return run
+
+
+def _overload_check(
+    runs: t.Sequence[dict[str, t.Any]],
+    service_floor_s: float,
+    ratio_limit: float = 3.0,
+) -> dict[str, t.Any]:
+    """The acceptance criteria: shed under overload, bounded p99, conserve.
+
+    The p99 ratio denominator is floored at one mean service time — an
+    at-saturation p99 cannot meaningfully be smaller, and the floor keeps
+    the ratio from exploding on timer noise when the pipeline is fast.
+    """
+    conservation_ok = all(r["conservation_ok"] for r in runs)
+    factored = [r for r in runs if r["load_factor"] is not None]
+    out: dict[str, t.Any] = {
+        "conservation_ok": conservation_ok,
+        "ratio_limit": ratio_limit,
+    }
+    if not factored:
+        out["ok"] = conservation_ok
+        return out
+    at_sat = min(factored, key=lambda r: abs(r["load_factor"] - 1.0))
+    over = max(factored, key=lambda r: r["load_factor"])
+    out["at_saturation"] = at_sat["label"]
+    out["overload"] = over["label"]
+    if over["load_factor"] < 2.0 or over is at_sat:
+        out["ok"] = conservation_ok
+        return out
+    p99_sat = max(at_sat["latency_s"]["p99_s"], service_floor_s)
+    p99_over = over["latency_s"]["p99_s"]
+    ratio = p99_over / p99_sat if p99_sat > 0 else float("inf")
+    shed_nonzero = over["ledger"]["shed"] > 0
+    drained_zero = all(r["ledger"]["drained"] == 0 for r in factored)
+    out.update(
+        {
+            "p99_at_saturation_s": at_sat["latency_s"]["p99_s"],
+            "p99_overload_s": p99_over,
+            "p99_ratio": ratio,
+            "p99_within_limit": ratio <= ratio_limit,
+            "shed_nonzero_at_overload": shed_nonzero,
+            "clean_drain": drained_zero,
+            "ok": (
+                conservation_ok
+                and shed_nonzero
+                and drained_zero
+                and ratio <= ratio_limit
+            ),
+        }
+    )
+    return out
+
+
+def run_loadgen(config: LoadgenConfig | None = None) -> dict[str, t.Any]:
+    """Run the full overload protocol against the real serving layer."""
+    config = config or LoadgenConfig()
+    from ..experiments.context import build_context
+
+    ctx = build_context(config.corpus)
+    workload = zipf_workload(
+        ctx.questions,
+        config.n_questions,
+        config.n_unique,
+        config.zipf_exponent,
+        config.workload_seed,
+    )
+
+    calibration: dict[str, t.Any]
+    if config.rate_qps is not None and config.est_service_s is not None:
+        calibration = {
+            "skipped": True,
+            "est_service_s": config.est_service_s,
+            "service_mean_s": config.est_service_s,
+        }
+    else:
+        calibration = _calibrate(config, workload)
+    est_service_s = (
+        config.est_service_s
+        if config.est_service_s is not None
+        else calibration["est_service_s"]
+    )
+    saturation_qps = calibration.get(
+        "saturation_qps", config.max_concurrent / est_service_s
+    )
+
+    runs: list[dict[str, t.Any]] = []
+    if config.rate_qps is not None:
+        runs.append(
+            _run_once(
+                config,
+                workload,
+                config.rate_qps,
+                est_service_s,
+                label=f"{config.rate_qps:g}qps",
+                load_factor=None,
+            )
+        )
+    else:
+        for factor in config.load_factors:
+            runs.append(
+                _run_once(
+                    config,
+                    workload,
+                    factor * saturation_qps,
+                    est_service_s,
+                    label=f"{factor:g}x",
+                    load_factor=factor,
+                )
+            )
+
+    overload = _overload_check(
+        runs, service_floor_s=calibration.get("service_mean_s", est_service_s)
+    )
+    return {
+        "schema": "bench_serving/v1",
+        "config": asdict(config),
+        "workload": {
+            "n_questions": config.n_questions,
+            "n_unique": config.n_unique,
+            "zipf_exponent": config.zipf_exponent,
+            "seed": config.workload_seed,
+        },
+        "calibration": calibration,
+        "saturation_qps": saturation_qps,
+        "runs": runs,
+        "overload": overload,
+        "ok": overload.get("ok", False) and all(
+            r["conservation_ok"] for r in runs
+        ),
+    }
+
+
+def format_serving(summary: dict[str, t.Any]) -> str:
+    """Render the sweep as an ASCII report section."""
+    lines: list[str] = []
+    title = "Serving — admission-controlled real pipeline under offered load"
+    lines.append(title)
+    lines.append("=" * len(title))
+    cal = summary["calibration"]
+    if not cal.get("skipped"):
+        lines.append(
+            f"calibration: saturation {cal['saturation_qps']:.1f} q/s, "
+            f"mean service {cal['service_mean_s'] * 1e3:.2f} ms "
+            f"({cal['workers']} workers, closed loop over "
+            f"{cal['n_questions']} questions)"
+        )
+    header = (
+        f"{'run':<8} | {'offered':>8} | {'answered':>8} | {'shed':>6} | "
+        f"{'drain':>5} | {'q/s':>7} | {'p50 ms':>8} | {'p99 ms':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for run in summary["runs"]:
+        led = run["ledger"]
+        lat = run["latency_s"]
+        lines.append(
+            f"{run['label']:<8} | {run['offered_qps']:>8.1f} | "
+            f"{led['answered']:>8} | {led['shed']:>6} | "
+            f"{led['drained']:>5} | {run['throughput_qps']:>7.1f} | "
+            f"{lat['p50_s'] * 1e3:>8.2f} | {lat['p99_s'] * 1e3:>8.2f}"
+        )
+    over = summary["overload"]
+    if "p99_ratio" in over:
+        lines.append(
+            f"overload p99 ratio {over['p99_ratio']:.2f} "
+            f"(limit {over['ratio_limit']:.1f}x of at-saturation), "
+            f"shed at overload: "
+            f"{'yes' if over['shed_nonzero_at_overload'] else 'NO'}"
+        )
+    lines.append(
+        "conservation: "
+        + (
+            "balanced in all runs"
+            if over["conservation_ok"]
+            else "IMBALANCED — questions lost or double-counted"
+        )
+    )
+    return "\n".join(lines)
+
+
+def write_serving_json(
+    summary: dict[str, t.Any], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write ``summary`` to ``path`` as pretty-printed JSON."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(summary, indent=2, sort_keys=False) + "\n")
+    return out

@@ -1,0 +1,298 @@
+"""The long-lived Q/A server: admission control in front of real workers.
+
+:class:`QAServer` is the serving counterpart of the simulated cluster's
+front end: questions enter through a bounded FIFO admission queue (the
+simulator's FIFO-of-3 node discipline, made load-shedding), accepted
+questions are executed by worker processes attached to the shared
+packed-index artifact, and everything that happens is recorded three
+ways at once:
+
+* a :class:`~repro.serving.protocol.ConservationLedger` proving
+  ``answered + shed + drained == submitted`` exactly;
+* the shared :class:`~repro.observability.metrics.MetricsRegistry`
+  under the canonical ``serving.*`` names;
+* a :class:`~repro.observability.spans.SpanStream` span tree per
+  answered question (``serve`` root, ``admission`` queue child,
+  ``service`` compute child) plus an instant event per shed, so the
+  existing attribution pass can fold admission wait into its
+  ``queueing`` bucket with no serving-specific code.
+
+Lifecycle: ``start() -> submit()* / poll()* -> drain() -> stop()``.
+``drain`` is graceful: admission flips to shedding ``DRAINING``,
+in-flight questions get ``drain_timeout_s`` to finish, and whatever is
+still unfinished is accounted ``DRAINED`` — never silently dropped.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as t
+from dataclasses import dataclass, field
+
+from ..corpus import CorpusConfig
+from ..observability.attribution import attribute_question
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import (
+    SERVING_ADMISSION_WAIT_S,
+    SERVING_ANSWERED,
+    SERVING_DRAINED,
+    SERVING_LATENCY_S,
+    SERVING_QUEUE_DEPTH,
+    SERVING_SERVICE_S,
+    SERVING_SHED,
+    SERVING_SHED_PREFIX,
+    SERVING_SUBMITTED,
+)
+from ..observability.spans import SpanCategory, SpanStream
+from .admission import AdmissionConfig, AdmissionController, AdmissionDecision
+from .protocol import (
+    ConservationLedger,
+    Outcome,
+    OverloadError,
+    ServeResponse,
+    ShedReason,
+)
+from .workers import ExecutionResult, InlineExecutor, ProcessWorkerPool
+
+__all__ = ["QAServer", "ServerConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Everything a serving run needs besides the workload itself."""
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Worker processes; 0 = inline synchronous execution (tests/debug).
+    workers: int = 3
+    #: Seconds in-flight questions get to finish at shutdown.
+    drain_timeout_s: float = 60.0
+    #: Observability switches (spans cost memory on long runs).
+    metrics_enabled: bool = True
+    spans_enabled: bool = True
+
+
+@dataclass(slots=True)
+class _Pending:
+    """Book-keeping for an accepted, not-yet-completed question."""
+
+    qid: int
+    submit_wall: float
+
+
+class QAServer:
+    """Admission-controlled multi-worker serving of the real pipeline."""
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        pool: t.Any | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.admission = AdmissionController(self.config.admission)
+        self.ledger = ConservationLedger()
+        self.metrics = MetricsRegistry(enabled=self.config.metrics_enabled)
+        self.spans = SpanStream(enabled=self.config.spans_enabled)
+        self.responses: list[ServeResponse] = []
+        self._pending: dict[int, _Pending] = {}
+        self._next_seq = 0
+        self._started = False
+        self._drained = False
+        if pool is not None:
+            self.pool = pool
+        elif self.config.workers >= 1:
+            self.pool = ProcessWorkerPool(self.config.corpus, self.config.workers)
+        else:
+            self.pool = None  # built lazily in start() (needs a pipeline)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn (or build) the execution backend."""
+        if self._started:
+            return
+        if self.pool is None:
+            from ..experiments.context import build_serving_context
+
+            ctx = build_serving_context(self.config.corpus)
+            self.pool = InlineExecutor(ctx.pipeline)
+        self.pool.start()
+        self._started = True
+
+    def __enter__(self) -> "QAServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: t.Any) -> None:
+        if not self._drained:
+            self.drain()
+        self.stop()
+
+    # -- submission --------------------------------------------------------------
+    def submit(
+        self,
+        text: str,
+        qid: int = 0,
+        client: str = "default",
+        arrival_s: float | None = None,
+        deadline_s: float | None = None,
+        raise_on_shed: bool = False,
+    ) -> AdmissionDecision:
+        """Offer one question to admission control.
+
+        ``arrival_s`` is the logical timestamp decisions are made
+        against; ``None`` uses the real clock (interactive serving).
+        The loadgen passes its *scheduled* arrival times, which is what
+        makes the decision sequence deterministic across worker counts.
+        """
+        if not self._started:
+            raise RuntimeError("QAServer.submit before start()")
+        submit_wall = time.time()
+        if arrival_s is None:
+            arrival_s = submit_wall
+        seq = self._next_seq
+        self._next_seq += 1
+        self.ledger.submitted += 1
+        self.metrics.inc(SERVING_SUBMITTED)
+        decision = self.admission.submit(
+            seq, qid, arrival_s, client=client, deadline_s=deadline_s
+        )
+        if decision.accepted:
+            self._pending[seq] = _Pending(qid=qid, submit_wall=submit_wall)
+            if self.metrics.enabled:
+                self.metrics.gauge(SERVING_QUEUE_DEPTH).set(
+                    float(len(self._pending))
+                )
+            self.pool.submit(seq, qid, text, submit_wall)
+        else:
+            reason = decision.shed_reason or ShedReason.QUEUE_FULL
+            self.ledger.record(Outcome.SHED, reason)
+            self.metrics.inc(SERVING_SHED)
+            self.metrics.inc(SERVING_SHED_PREFIX + reason.value)
+            self.spans.instant(
+                f"shed:{reason.value}", qid, node_id=-1, time=submit_wall
+            )
+            self.responses.append(
+                ServeResponse(
+                    seq=seq,
+                    qid=qid,
+                    outcome=Outcome.SHED,
+                    shed_reason=reason,
+                )
+            )
+            if raise_on_shed:
+                raise OverloadError(
+                    reason,
+                    qid,
+                    queue_depth=decision.queue_depth,
+                    predicted_wait_s=decision.predicted_wait_s,
+                )
+        return decision
+
+    # -- completion --------------------------------------------------------------
+    def _complete(self, res: ExecutionResult) -> None:
+        pending = self._pending.pop(res.seq, None)
+        if pending is None:  # late duplicate; ignore rather than double-count
+            return
+        end_wall = time.time()
+        latency = max(0.0, end_wall - pending.submit_wall)
+        response = ServeResponse(
+            seq=res.seq,
+            qid=res.qid,
+            outcome=Outcome.ANSWERED,
+            answers=res.answers,
+            latency_s=latency,
+            admission_wait_s=res.wait_s,
+            service_s=res.service_s,
+            worker_pid=res.worker_pid,
+        )
+        self.responses.append(response)
+        self.ledger.record(Outcome.ANSWERED)
+        self.metrics.inc(SERVING_ANSWERED)
+        self.metrics.observe(SERVING_LATENCY_S, latency)
+        self.metrics.observe(SERVING_ADMISSION_WAIT_S, res.wait_s)
+        self.metrics.observe(SERVING_SERVICE_S, res.service_s)
+        if self.metrics.enabled:
+            self.metrics.gauge(SERVING_QUEUE_DEPTH).set(
+                float(len(self._pending))
+            )
+        if self.spans.enabled:
+            t0 = pending.submit_wall
+            root = self.spans.begin(
+                "serve", SpanCategory.TASK, res.qid, node_id=res.worker_pid, time=t0
+            )
+            wait_end = t0 + res.wait_s
+            admission = self.spans.begin(
+                "admission", SpanCategory.QUEUE, res.qid, node_id=-1, time=t0,
+                parent=root,
+            )
+            self.spans.end(admission, wait_end)
+            service = self.spans.begin(
+                "service", SpanCategory.COMPUTE, res.qid,
+                node_id=res.worker_pid, time=wait_end, parent=root,
+            )
+            self.spans.end(service, wait_end + res.service_s)
+            self.spans.end(root, max(end_wall, wait_end + res.service_s))
+
+    def poll(self) -> int:
+        """Fold any finished questions into the ledger; returns the count."""
+        results = self.pool.poll()
+        for res in results:
+            self._complete(res)
+        return len(results)
+
+    @property
+    def in_flight(self) -> int:
+        """Accepted questions not yet completed."""
+        return len(self._pending)
+
+    # -- shutdown ----------------------------------------------------------------
+    def drain(self, timeout_s: float | None = None) -> ConservationLedger:
+        """Graceful shutdown: stop admitting, finish in-flight, account rest."""
+        if self._drained:
+            return self.ledger
+        self.admission.start_draining()
+        timeout = self.config.drain_timeout_s if timeout_s is None else timeout_s
+        if self._started:
+            for res in self.pool.drain(timeout):
+                self._complete(res)
+        for seq in sorted(self._pending):
+            pending = self._pending.pop(seq)
+            self.ledger.record(Outcome.DRAINED)
+            self.metrics.inc(SERVING_DRAINED)
+            self.responses.append(
+                ServeResponse(
+                    seq=seq, qid=pending.qid, outcome=Outcome.DRAINED
+                )
+            )
+        if self.metrics.enabled:
+            self.metrics.gauge(SERVING_QUEUE_DEPTH).set(0.0)
+        self._drained = True
+        return self.ledger
+
+    def stop(self) -> None:
+        """Tear the execution backend down (terminates stragglers)."""
+        if self._started and self.pool is not None:
+            self.pool.stop()
+        self._started = False
+
+    # -- reporting ---------------------------------------------------------------
+    def attribution_summary(self) -> dict[str, float]:
+        """Mean per-question attribution over the answered span trees.
+
+        Runs the existing observability fold
+        (:func:`~repro.observability.attribution.attribute_question`)
+        over every ``serve`` root: admission wait lands in the
+        ``queueing`` bucket, worker execution in ``compute``, IPC and
+        collection slack in ``other``.
+        """
+        totals: dict[str, float] = {}
+        n = 0
+        for qid in self.spans.question_ids():
+            for root in self.spans.roots(qid):
+                qa = attribute_question(self.spans, root)
+                n += 1
+                for cat, sec in qa.categories.items():
+                    totals[cat] = totals.get(cat, 0.0) + sec
+        if n == 0:
+            return {}
+        return {f"{cat}_mean_s": sec / n for cat, sec in sorted(totals.items())}

@@ -1,0 +1,271 @@
+"""Worker execution behind the admission queue.
+
+Two interchangeable executors sit behind
+:class:`~repro.serving.server.QAServer`:
+
+* :class:`ProcessWorkerPool` — the production shape: N OS processes,
+  each running :func:`_worker_main`, which **attaches** to the shared v2
+  packed-index artifact (:mod:`repro.experiments.context`) instead of
+  rebuilding tokenize + stem + intern per process.  The parent warms the
+  on-disk artifact once before spawning, so worker start-up is one
+  unpickle + id remap (~1/40th of a rebuild); each worker reports
+  whether it attached (``"cache"``) or had to build (``"built"``).
+* :class:`InlineExecutor` — single-process synchronous execution for
+  tests and the ``workers=0`` debug mode; same result surface, no IPC.
+
+Both speak :class:`ExecutionResult`, the minimal completion record the
+server folds into ledger + metrics + spans.  Requests cross the process
+boundary as plain tuples (seq, qid, text, submit_wall) and results come
+back as tagged tuples — tiny, picklable, and version-free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+import typing as t
+from dataclasses import dataclass
+
+from ..corpus import CorpusConfig
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from ..qa import QAPipeline
+
+__all__ = ["ExecutionResult", "InlineExecutor", "ProcessWorkerPool"]
+
+#: Answers forwarded per question (keeps IPC payloads small).
+_MAX_ANSWERS = 3
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionResult:
+    """One completed question, as reported by an executor."""
+
+    seq: int
+    qid: int
+    answers: tuple[tuple[str, float], ...]
+    #: Seconds between submit and a worker picking the request up.
+    wait_s: float
+    #: Seconds of pipeline execution.
+    service_s: float
+    worker_pid: int
+    error: str = ""
+
+
+def _digest_answers(answers: t.Sequence[t.Any]) -> tuple[tuple[str, float], ...]:
+    """Compress pipeline answers to (text, score) pairs for IPC."""
+    return tuple((a.text, float(a.score)) for a in answers[:_MAX_ANSWERS])
+
+
+def _worker_main(
+    config: CorpusConfig,
+    requests: "multiprocessing.queues.Queue[t.Any]",
+    responses: "multiprocessing.queues.Queue[t.Any]",
+) -> None:
+    """Worker process body: attach, announce readiness, serve until sentinel."""
+    from ..experiments.context import build_serving_context
+
+    ctx = build_serving_context(config)
+    responses.put(("ready", os.getpid(), ctx.index_source, ctx.index_seconds))
+    while True:
+        item = requests.get()
+        if item is None:
+            responses.put(("bye", os.getpid()))
+            return
+        seq, qid, text, submit_wall = item
+        picked_wall = time.time()
+        t0 = time.perf_counter()
+        try:
+            result = ctx.pipeline.answer(text, qid=qid)
+            answers = _digest_answers(result.answers)
+            error = ""
+        except Exception as exc:  # the question must still be accounted for
+            answers = ()
+            error = f"{type(exc).__name__}: {exc}"
+        service_s = time.perf_counter() - t0
+        responses.put(
+            (
+                "done",
+                seq,
+                qid,
+                answers,
+                max(0.0, picked_wall - submit_wall),
+                service_s,
+                os.getpid(),
+                error,
+            )
+        )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap start, inherited env); else the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+class ProcessWorkerPool:
+    """N worker processes sharing one request queue (FIFO hand-off)."""
+
+    def __init__(
+        self,
+        config: CorpusConfig,
+        workers: int,
+        start_timeout_s: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("ProcessWorkerPool needs at least one worker")
+        self.config = config
+        self.workers = workers
+        self.start_timeout_s = start_timeout_s
+        ctx = _pool_context()
+        self._requests: multiprocessing.queues.Queue[t.Any] = ctx.Queue()
+        self._responses: multiprocessing.queues.Queue[t.Any] = ctx.Queue()
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._ctx = ctx
+        #: Per-worker index provenance, filled by the ready handshake:
+        #: {pid: ("cache"|"built", seconds)}.
+        self.attach_report: dict[int, tuple[str, float]] = {}
+
+    def start(self) -> None:
+        """Warm the shared artifact, spawn workers, await readiness."""
+        from ..experiments.context import (
+            load_or_build_indexes,
+            load_or_generate_corpus,
+        )
+
+        # One build in the parent populates the v2 disk artifact; every
+        # worker then attaches instead of rebuilding.
+        corpus = load_or_generate_corpus(self.config)
+        load_or_build_indexes(corpus, self.config)
+        for _ in range(self.workers):
+            p = self._ctx.Process(
+                target=_worker_main,
+                args=(self.config, self._requests, self._responses),
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+        deadline = time.monotonic() + self.start_timeout_s
+        while len(self.attach_report) < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"only {len(self.attach_report)}/{self.workers} workers "
+                    "became ready"
+                )
+            try:
+                msg = self._responses.get(timeout=remaining)
+            except queue_mod.Empty:
+                continue
+            if msg[0] == "ready":
+                _, pid, source, seconds = msg
+                self.attach_report[pid] = (source, seconds)
+
+    def submit(self, seq: int, qid: int, text: str, submit_wall: float) -> None:
+        self._requests.put((seq, qid, text, submit_wall))
+
+    def _to_result(self, msg: tuple[t.Any, ...]) -> ExecutionResult:
+        _, seq, qid, answers, wait_s, service_s, pid, error = msg
+        return ExecutionResult(
+            seq=seq,
+            qid=qid,
+            answers=answers,
+            wait_s=wait_s,
+            service_s=service_s,
+            worker_pid=pid,
+            error=error,
+        )
+
+    def poll(self) -> list[ExecutionResult]:
+        """Collect any completions without blocking."""
+        out: list[ExecutionResult] = []
+        while True:
+            try:
+                msg = self._responses.get_nowait()
+            except queue_mod.Empty:
+                return out
+            if msg[0] == "done":
+                out.append(self._to_result(msg))
+
+    def drain(self, timeout_s: float) -> list[ExecutionResult]:
+        """Send sentinels, then collect completions until every worker exits.
+
+        Returns the completions received within ``timeout_s``; anything
+        still in flight afterwards is the caller's ``DRAINED`` set.
+        """
+        for _ in self._procs:
+            self._requests.put(None)
+        out: list[ExecutionResult] = []
+        byes = 0
+        deadline = time.monotonic() + timeout_s
+        while byes < len(self._procs):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                msg = self._responses.get(timeout=remaining)
+            except queue_mod.Empty:
+                break
+            if msg[0] == "done":
+                out.append(self._to_result(msg))
+            elif msg[0] == "bye":
+                byes += 1
+        return out
+
+    def stop(self) -> None:
+        """Terminate any still-running workers and reap them."""
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+        for p in self._procs:
+            p.join(timeout=5.0)
+        self._procs.clear()
+
+
+class InlineExecutor:
+    """Synchronous in-process execution (``workers=0`` / unit tests)."""
+
+    workers = 0
+
+    def __init__(self, pipeline: "QAPipeline") -> None:
+        self.pipeline = pipeline
+        self._completed: list[ExecutionResult] = []
+        self.attach_report: dict[int, tuple[str, float]] = {}
+
+    def start(self) -> None:  # nothing to spawn
+        pass
+
+    def submit(self, seq: int, qid: int, text: str, submit_wall: float) -> None:
+        t0 = time.perf_counter()
+        try:
+            result = self.pipeline.answer(text, qid=qid)
+            answers = _digest_answers(result.answers)
+            error = ""
+        except Exception as exc:
+            answers = ()
+            error = f"{type(exc).__name__}: {exc}"
+        self._completed.append(
+            ExecutionResult(
+                seq=seq,
+                qid=qid,
+                answers=answers,
+                wait_s=0.0,
+                service_s=time.perf_counter() - t0,
+                worker_pid=0,
+                error=error,
+            )
+        )
+
+    def poll(self) -> list[ExecutionResult]:
+        out, self._completed = self._completed, []
+        return out
+
+    def drain(self, timeout_s: float) -> list[ExecutionResult]:
+        return self.poll()
+
+    def stop(self) -> None:
+        pass

@@ -9,6 +9,12 @@ safe.  Tests that genuinely need a different corpus shape keep their
 own local fixtures.
 """
 
+import atexit
+import os
+import secrets
+import shutil
+import tempfile
+
 import pytest
 
 from repro.corpus import CorpusConfig, generate_corpus, generate_questions
@@ -20,6 +26,48 @@ from repro.retrieval import IndexedCorpus
 SHARED_CORPUS_CONFIG = CorpusConfig(
     n_collections=3, docs_per_collection=20, vocab_size=500, seed=31
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _cache_sandbox():
+    """Point REPRO_CACHE_DIR at a per-session sandbox, and clean it up.
+
+    Every pytest session writes its packed-index artifacts into its own
+    ``repro-test-cache-<pid>-<token>`` directory so concurrent sessions
+    never share artifacts.  Cleanup is belt-and-braces: the fixture
+    finalizer handles normal exits, an ``atexit`` hook handles most
+    abnormal ones, and — because neither runs when the process is
+    SIGKILLed — each session starts by sweeping sandboxes whose owning
+    pid is dead (``sweep_stale_cache_dirs``).  An externally supplied
+    REPRO_CACHE_DIR is respected untouched (CI points it at a shared
+    cache on purpose).
+    """
+    from repro.experiments.context import (
+        STALE_CACHE_PREFIX,
+        sweep_stale_cache_dirs,
+    )
+
+    if os.environ.get("REPRO_CACHE_DIR") is not None:
+        yield os.environ["REPRO_CACHE_DIR"]
+        return
+    sweep_stale_cache_dirs()
+    sandbox = os.path.join(
+        tempfile.gettempdir(),
+        f"{STALE_CACHE_PREFIX}{os.getpid()}-{secrets.token_hex(4)}",
+    )
+    os.makedirs(sandbox, exist_ok=True)
+    os.environ["REPRO_CACHE_DIR"] = sandbox
+
+    def _reap() -> None:  # dedicated hook so unregister targets only us
+        shutil.rmtree(sandbox, ignore_errors=True)
+
+    atexit.register(_reap)
+    try:
+        yield sandbox
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+        _reap()
+        atexit.unregister(_reap)
 
 
 @pytest.fixture(scope="session")
