@@ -8,10 +8,15 @@ checked-in trajectory lives in BENCH_serving.json via
 ``python -m repro loadgen``.
 """
 
-from repro.serving import LoadgenConfig, format_serving, run_loadgen
+from repro.serving import (
+    LoadgenConfig,
+    format_serving,
+    run_loadgen,
+    validate_bench_serving,
+)
 
 
-def test_serving_overload(benchmark, report):
+def test_serving_overload(benchmark, report, json_out):
     summary = benchmark.pedantic(
         run_loadgen,
         args=(
@@ -25,6 +30,7 @@ def test_serving_overload(benchmark, report):
         rounds=1,
         iterations=1,
     )
+    validate_bench_serving(summary)
     assert summary["ok"], summary["overload"]
     for run in summary["runs"]:
         assert run["conservation_ok"], run["label"]
@@ -35,3 +41,4 @@ def test_serving_overload(benchmark, report):
         "Serving — admission control under offered load",
         format_serving(summary),
     )
+    json_out("BENCH_serving", summary)

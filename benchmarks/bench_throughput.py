@@ -11,17 +11,27 @@ from repro.experiments.throughput_bench import (
     BenchConfig,
     format_throughput,
     run_throughput_bench,
+    validate_bench_throughput,
 )
 
 
-def test_throughput_hot_path(benchmark, report):
+def test_throughput_hot_path(benchmark, report, json_out):
     summary = benchmark.pedantic(
         run_throughput_bench,
         args=(BenchConfig(n_questions=120, n_unique=60),),
         rounds=1,
         iterations=1,
     )
+    validate_bench_throughput(summary)
     assert summary["equivalence"]["equivalent"], summary["equivalence"]
     assert summary["baseline"]["questions_per_sec"] > 0
     assert summary["optimized"]["questions_per_sec"] > 0
+    # The default batched columns must be present and gated: every batch
+    # size fingerprint-matched the serial optimized run.
+    assert set(summary["batched"]) == {"1", "4", "8", "16", "32"}
+    assert not summary["equivalence"]["batched_mismatches"]
+    assert all(
+        s["questions_per_sec"] > 0 for s in summary["batched"].values()
+    )
     report("Throughput — term-index hot path", format_throughput(summary))
+    json_out("BENCH_throughput", summary)

@@ -167,6 +167,14 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         write_bench_json,
     )
 
+    try:
+        batch_sizes = tuple(
+            int(b) for b in str(args.batch_sizes).split(",") if b.strip()
+        )
+    except ValueError:
+        raise SystemExit(
+            f"--batch-sizes must be comma-separated ints, got {args.batch_sizes!r}"
+        )
     config = BenchConfig(
         n_questions=args.questions,
         n_unique=args.unique,
@@ -174,15 +182,22 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         corpus_seed=args.corpus_seed,
         workload_seed=args.seed,
         conjunction_cache=args.cache,
+        batch_sizes=batch_sizes,
     )
     summary = run_throughput_bench(config)
     print(format_throughput(summary))
     out = write_bench_json(summary, args.output)
     print(f"wrote {out}")
     if not summary["equivalence"]["equivalent"]:
+        eq = summary["equivalence"]
         raise SystemExit(
             "bench FAILED: optimized pipeline diverged from the reference "
-            f"path on questions {summary['equivalence']['mismatches']}"
+            f"path on questions {eq['mismatches']}"
+            + (
+                f"; batched mismatches {eq['batched_mismatches']}"
+                if eq["batched_mismatches"]
+                else ""
+            )
         )
 
 
@@ -353,6 +368,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> None:
         pace=not args.no_pace,
         drain_timeout_s=args.drain_timeout,
         record_decisions=args.decisions_out is not None,
+        batch_max=args.batch,
+        batch_wait_s=args.batch_wait,
     )
     summary = run_loadgen(config)
     print(format_serving(summary))
@@ -458,6 +475,11 @@ def main(argv: t.Sequence[str] | None = None) -> None:
     bench.add_argument(
         "--cache", type=int, default=256,
         help="conjunction-cache capacity of the optimized run",
+    )
+    bench.add_argument(
+        "--batch-sizes", default="1,4,8,16,32",
+        help="comma-separated answer_batch sizes for the batched columns "
+        "(empty string skips batched runs)",
     )
     bench.add_argument(
         "--output", default="BENCH_throughput.json",
@@ -622,6 +644,17 @@ def main(argv: t.Sequence[str] | None = None) -> None:
         help="submit the whole schedule immediately (decisions unchanged)",
     )
     loadgen.add_argument("--drain-timeout", type=float, default=60.0)
+    loadgen.add_argument(
+        "--batch", type=int, default=1,
+        help="serving micro-batch size: accepted questions are grouped up "
+        "to B per answer_batch worker request (1 = unbatched; admission "
+        "decisions and their digest are unchanged)",
+    )
+    loadgen.add_argument(
+        "--batch-wait", type=float, default=0.005,
+        help="seconds the oldest buffered request may wait before a "
+        "partial micro-batch is flushed",
+    )
     loadgen.add_argument(
         "--decisions-out", default=None,
         help="also dump the per-run admission decision sequences as JSON",

@@ -45,6 +45,7 @@ __all__ = [
     "BenchConfig",
     "run_throughput_bench",
     "format_throughput",
+    "validate_bench_throughput",
     "write_bench_json",
 ]
 
@@ -69,6 +70,11 @@ class BenchConfig:
     conjunction_cache: int = 256
     #: Warm-up questions per run (excluded from timing).
     warmup: int = 3
+    #: Batch sizes of the batched-execution columns (empty = skip).  Each
+    #: size runs the same workload through ``QAPipeline.answer_batch`` on
+    #: a fresh retriever stack and must fingerprint-match the serial
+    #: optimized run.
+    batch_sizes: tuple[int, ...] = (1, 4, 8, 16, 32)
 
 
 def _percentile_ms(samples: t.Sequence[float], q: float) -> float:
@@ -125,6 +131,49 @@ def _run_workload(
             }
             for m in _MODULES
         },
+    }
+    return results, stats
+
+
+def _chunks(
+    seq: t.Sequence[tuple[int, str]], size: int
+) -> t.Iterator[t.Sequence[tuple[int, str]]]:
+    for i in range(0, len(seq), size):
+        yield seq[i : i + size]
+
+
+def _run_workload_batched(
+    pipeline: QAPipeline,
+    workload: t.Sequence[tuple[int, str]],
+    warmup: int,
+    batch_size: int,
+) -> tuple[list[QAResult], dict[str, t.Any]]:
+    """Answer the workload in batches of ``batch_size`` questions."""
+    for chunk in _chunks(workload[:warmup], batch_size):
+        pipeline.answer_batch([c[1] for c in chunk], [c[0] for c in chunk])
+    results: list[QAResult] = []
+    sharing: list[float] = []
+    fetches = shared = 0
+    distinct = 0
+    t0 = time.perf_counter()
+    for chunk in _chunks(workload, batch_size):
+        results.extend(
+            pipeline.answer_batch([c[1] for c in chunk], [c[0] for c in chunk])
+        )
+        bs = pipeline.last_batch_stats
+        sharing.append(bs.sharing_factor)
+        fetches += bs.postings_fetches
+        shared += bs.postings_shared
+        distinct += bs.n_distinct
+    wall_s = time.perf_counter() - t0
+    stats = {
+        "batch_size": batch_size,
+        "wall_s": wall_s,
+        "questions_per_sec": len(workload) / wall_s if wall_s > 0 else 0.0,
+        "sharing_factor_mean": sum(sharing) / len(sharing) if sharing else 1.0,
+        "distinct_executed": distinct,
+        "postings_fetches": fetches,
+        "postings_shared": shared,
     }
     return results, stats
 
@@ -198,14 +247,70 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
     ]
 
     # Three-way equivalence gate: naive rebuild, packed build, packed attach.
+    opt_fingerprints = [_fingerprint(r) for r in opt_results]
     mismatches = [
         i
-        for i, (a, b, c) in enumerate(zip(base_results, opt_results, att_results))
-        if not (_fingerprint(a) == _fingerprint(b) == _fingerprint(c))
+        for i, (a, c) in enumerate(zip(base_results, att_results))
+        if not (_fingerprint(a) == opt_fingerprints[i] == _fingerprint(c))
     ]
+
+    # Batched columns: the same workload through answer_batch at each
+    # batch size, each on a fresh retriever stack, each fingerprint-gated
+    # against the serial optimized run.  The largest size also runs on
+    # the attached (worker-path) indexes — serial vs batched vs
+    # attached-worker batched must all be bit-identical.
+    batched: dict[str, dict[str, t.Any]] = {}
+    batched_mismatches: dict[str, list[int]] = {}
+    for batch_size in config.batch_sizes:
+        pipeline = QAPipeline(
+            indexed.reconfigured(conjunction_cache=config.conjunction_cache),
+            recognizer,
+            use_term_index=True,
+        )
+        b_results, b_stats = _run_workload_batched(
+            pipeline, workload, config.warmup, batch_size
+        )
+        bad = [
+            i
+            for i, r in enumerate(b_results)
+            if _fingerprint(r) != opt_fingerprints[i]
+        ]
+        if bad:
+            batched_mismatches[str(batch_size)] = bad[:20]
+        batched[str(batch_size)] = b_stats
+    attached_batched: dict[str, t.Any] | None = None
+    if config.batch_sizes:
+        largest = max(config.batch_sizes)
+        ab_pipeline = QAPipeline(
+            IndexedCorpus(
+                corpus,
+                indexes=attached_indexes,
+                conjunction_cache=config.conjunction_cache,
+            ),
+            recognizer,
+            use_term_index=True,
+        )
+        ab_results, attached_batched = _run_workload_batched(
+            ab_pipeline, workload, config.warmup, largest
+        )
+        bad = [
+            i
+            for i, r in enumerate(ab_results)
+            if _fingerprint(r) != opt_fingerprints[i]
+        ]
+        if bad:
+            batched_mismatches["attached"] = bad[:20]
+
+    def _qps(column: str) -> float:
+        return batched.get(column, {}).get("questions_per_sec", 0.0)
+
+    batch_speedup = {
+        column: (_qps(column) / _qps("1") if _qps("1") > 0 else 0.0)
+        for column in batched
+    }
     stats = indexed.total_stats()
     return {
-        "schema": "bench_throughput/v2",
+        "schema": "bench_throughput/v3",
         "config": asdict(config),
         "index": {
             "build_s": index_build_s,
@@ -226,15 +331,19 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
         "baseline": base_stats,
         "optimized": opt_stats,
         "attached": att_stats,
+        "batched": batched,
+        "attached_batched": attached_batched,
+        "batch_speedup": batch_speedup,
         "speedup": (
             base_stats["wall_s"] / opt_stats["wall_s"]
             if opt_stats["wall_s"] > 0
             else float("inf")
         ),
         "equivalence": {
-            "equivalent": not mismatches,
+            "equivalent": not mismatches and not batched_mismatches,
             "n_checked": len(workload),
             "mismatches": mismatches[:20],
+            "batched_mismatches": batched_mismatches,
         },
     }
 
@@ -281,13 +390,79 @@ def format_throughput(summary: dict[str, t.Any]) -> str:
             f" {s['modules']['ps']['p50_ms']:>9.3f} |"
             f" {s['modules']['ap']['p50_ms']:>9.3f}"
         )
+    batched = summary.get("batched") or {}
+    if batched:
+        bheader = (
+            f"{'Batch':<10} | {'q/s':>8} | {'vs B=1':>7} | {'sharing':>7} | "
+            f"{'fetches':>8} | {'shared':>8}"
+        )
+        lines.append(bheader)
+        lines.append("-" * len(bheader))
+        speedups = summary.get("batch_speedup", {})
+        for column in sorted(batched, key=int):
+            s = batched[column]
+            lines.append(
+                f"B={column:<8} | {s['questions_per_sec']:>8.2f} |"
+                f" {speedups.get(column, 0.0):>6.2f}x |"
+                f" {s['sharing_factor_mean']:>7.2f} |"
+                f" {s['postings_fetches']:>8} | {s['postings_shared']:>8}"
+            )
+        ab = summary.get("attached_batched")
+        if ab:
+            lines.append(
+                f"attached B={ab['batch_size']}: {ab['questions_per_sec']:.2f} q/s,"
+                f" sharing {ab['sharing_factor_mean']:.2f}"
+            )
     eq = summary["equivalence"]
-    verdict = "identical" if eq["equivalent"] else f"MISMATCH x{len(eq['mismatches'])}"
+    n_bad = len(eq["mismatches"]) + sum(
+        len(v) for v in eq.get("batched_mismatches", {}).values()
+    )
+    verdict = "identical" if eq["equivalent"] else f"MISMATCH x{n_bad}"
     lines.append(
         f"speedup: {summary['speedup']:.2f}x end-to-end; outputs {verdict}"
         f" over {eq['n_checked']} questions"
     )
     return "\n".join(lines)
+
+
+def validate_bench_throughput(summary: dict[str, t.Any]) -> None:
+    """Schema check for ``BENCH_throughput.json`` — raises on drift.
+
+    Guards the contract downstream consumers (CI smoke asserts, the
+    benchmark report, trend tooling) rely on: the version string, the
+    serial columns, and since v3 the batched columns with their sharing
+    stats and the extended equivalence gate.
+    """
+    if summary.get("schema") != "bench_throughput/v3":
+        raise ValueError(f"unexpected schema: {summary.get('schema')!r}")
+    for key in ("config", "index", "workload", "equivalence", "speedup"):
+        if key not in summary:
+            raise ValueError(f"missing top-level key: {key}")
+    for column in ("baseline", "optimized", "attached"):
+        run = summary[column]
+        for key in ("wall_s", "questions_per_sec", "latency_ms", "modules"):
+            if key not in run:
+                raise ValueError(f"{column} missing {key}")
+    batched = summary.get("batched")
+    if not isinstance(batched, dict):
+        raise ValueError("v3 summary must carry a 'batched' mapping")
+    for column, run in batched.items():
+        for key in (
+            "batch_size",
+            "wall_s",
+            "questions_per_sec",
+            "sharing_factor_mean",
+            "postings_fetches",
+            "postings_shared",
+        ):
+            if key not in run:
+                raise ValueError(f"batched[{column}] missing {key}")
+    if "batch_speedup" not in summary:
+        raise ValueError("v3 summary must carry 'batch_speedup'")
+    eq = summary["equivalence"]
+    for key in ("equivalent", "n_checked", "mismatches", "batched_mismatches"):
+        if key not in eq:
+            raise ValueError(f"equivalence missing {key}")
 
 
 def write_bench_json(

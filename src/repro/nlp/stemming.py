@@ -16,6 +16,7 @@ caching on the lower-cased key loses nothing.
 
 from __future__ import annotations
 
+import typing as t
 from collections import OrderedDict
 
 from .porter import stem
@@ -36,8 +37,11 @@ class StemCache:
         self._cache: OrderedDict[str, str] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._trace: list[str] | None = None
 
     def __call__(self, word: str) -> str:
+        if self._trace is not None:
+            self._trace.append(word)
         key = word.lower()
         cached = self._cache.get(key)
         if cached is not None:
@@ -58,6 +62,29 @@ class StemCache:
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+
+    # -- lookup tracing (the batched-execution replay hook) ----------------------
+    def start_trace(self) -> None:
+        """Begin recording every raw word passed to :meth:`__call__`.
+
+        The batch execution engine (:mod:`repro.qa.batch`) records the
+        lookup sequence of a question's first execution; replaying the
+        trace for a duplicate question touches this cache — hit/miss
+        counters and LRU order included — exactly as re-running the
+        question would, without re-deriving any stems downstream.
+        """
+        self._trace = []
+
+    def stop_trace(self) -> list[str]:
+        """Stop recording and return the captured lookup sequence."""
+        trace = self._trace if self._trace is not None else []
+        self._trace = None
+        return trace
+
+    def replay(self, trace: t.Sequence[str]) -> None:
+        """Re-issue a recorded lookup sequence against the cache."""
+        for word in trace:
+            self(word)
 
 
 #: Process-wide cache shared by QP, indexing, PS and AP.

@@ -35,6 +35,11 @@ __all__ = [
     "QA_MIGRATIONS",
     "QA_MIGRATION_FAILURES",
     "RELAXATION_ROUNDS",
+    "RETRIEVAL_BATCH_DISTINCT",
+    "RETRIEVAL_BATCH_POSTINGS_FETCHES",
+    "RETRIEVAL_BATCH_POSTINGS_SHARED",
+    "RETRIEVAL_BATCH_QUESTIONS",
+    "RETRIEVAL_BATCH_SHARING_FACTOR",
     "PS_PARAGRAPH_BYTES",
     "SERVING_ADMISSION_WAIT_S",
     "SERVING_ANSWERED",
@@ -72,6 +77,16 @@ INDEX_MEMORY_BYTES = "retrieval.index.memory_bytes"
 INDEX_BUILD_S = "retrieval.index.build_s"
 INDEX_ATTACH_S = "retrieval.index.attach_s"
 VOCABULARY_SIZE = "nlp.vocabulary.size"
+#: Batched cross-question execution (PR 7): questions entering
+#: ``QAPipeline.answer_batch``, distinct questions actually executed
+#: (duplicates replay their first execution's cache touches), posting
+#: lists resolved cold vs served from the batch-shared map, and the
+#: per-batch ``questions / distinct`` sharing factor (histogram).
+RETRIEVAL_BATCH_QUESTIONS = "retrieval.batch.questions"
+RETRIEVAL_BATCH_DISTINCT = "retrieval.batch.distinct_questions"
+RETRIEVAL_BATCH_POSTINGS_FETCHES = "retrieval.batch.postings_fetches"
+RETRIEVAL_BATCH_POSTINGS_SHARED = "retrieval.batch.postings_shared"
+RETRIEVAL_BATCH_SHARING_FACTOR = "retrieval.batch.sharing_factor"
 #: Paragraph bytes flowing through PS and AP (pipeline work counters).
 PS_PARAGRAPH_BYTES = "qa.ps.paragraph_bytes"
 AP_PARAGRAPH_BYTES = "qa.ap.paragraph_bytes"

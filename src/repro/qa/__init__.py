@@ -1,6 +1,7 @@
 """The sequential Falcon-like Q/A system (Figure 1) and its cost model."""
 
 from .answer_processing import AnswerProcessor, merge_answers
+from .batch import BatchStats, execute_batch
 from .costs import CostModel, ModuleCost, ReferenceHardware
 from .evaluation import EvaluationReport, QuestionOutcome, evaluate, score_result
 from .paragraph_ordering import ParagraphOrderer
@@ -29,6 +30,7 @@ from .question_processing import QuestionProcessor
 __all__ = [
     "Answer",
     "AnswerProcessor",
+    "BatchStats",
     "CollectionProfile",
     "CollectionWork",
     "CostModel",
@@ -51,6 +53,7 @@ __all__ = [
     "ScoredParagraph",
     "SyntheticProfileGenerator",
     "SyntheticProfileParams",
+    "execute_batch",
     "load_profiles",
     "merge_answers",
     "profile_question",

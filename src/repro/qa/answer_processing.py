@@ -24,7 +24,12 @@ import typing as t
 from ..nlp.entities import Entity, EntityRecognizer, EntityType
 from ..nlp.stemming import cached_stem as stem
 from ..nlp.tokenizer import Token, tokenize
-from .paragraph_scoring import TermLookup, keyword_positions_from_terms
+from .paragraph_scoring import (
+    KeywordIdResolver,
+    TermLookup,
+    keyword_positions_from_ids,
+    keyword_positions_from_terms,
+)
 from .question import Answer, ProcessedQuestion, ScoredParagraph
 
 __all__ = ["AnswerProcessor", "merge_answers"]
@@ -75,15 +80,20 @@ class AnswerProcessor:
         self,
         processed: ProcessedQuestion,
         accepted: t.Sequence[ScoredParagraph],
+        resolver: KeywordIdResolver | None = None,
     ) -> list[Answer]:
         """Extract and rank answers from ``accepted`` paragraphs.
 
         Returns the local best ``n_answers`` in descending score order.
+        ``resolver`` (the batch path) hoists per-paragraph keyword-id
+        lookups exactly as in :meth:`ParagraphScorer.score`.
         """
         answers: list[Answer] = []
         max_rank = max((sp.score for sp in accepted), default=1.0) or 1.0
         for sp in accepted:
-            answers.extend(self._process_paragraph(processed, sp, max_rank))
+            answers.extend(
+                self._process_paragraph(processed, sp, max_rank, resolver)
+            )
         return merge_answers([answers], self.n_answers)
 
     # -- internals ---------------------------------------------------------------
@@ -92,6 +102,7 @@ class AnswerProcessor:
         processed: ProcessedQuestion,
         sp: ScoredParagraph,
         max_rank: float,
+        resolver: KeywordIdResolver | None = None,
     ) -> list[Answer]:
         text = sp.paragraph.text
         terms = self.term_lookup(sp.paragraph) if self.term_lookup else None
@@ -106,7 +117,11 @@ class AnswerProcessor:
 
         # Token positions of each keyword (stem match, phrases in order).
         kstems = [kw.stems for kw in processed.keywords]
-        if terms is not None:
+        if terms is not None and resolver is not None:
+            kw_positions = keyword_positions_from_ids(
+                terms, resolver.resolve(terms.vocab)
+            )
+        elif terms is not None:
             kw_positions = keyword_positions_from_terms(terms, kstems)
         else:
             stems_at = [

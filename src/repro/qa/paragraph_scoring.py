@@ -38,9 +38,11 @@ from ..retrieval.paragraphs import Paragraph
 from .question import ProcessedQuestion, ScoredParagraph
 
 __all__ = [
+    "KeywordIdResolver",
     "ParagraphScorer",
     "TermLookup",
     "keyword_positions",
+    "keyword_positions_from_ids",
     "keyword_positions_from_terms",
 ]
 
@@ -123,6 +125,79 @@ def keyword_positions_from_terms(
     return positions
 
 
+class KeywordIdResolver:
+    """Per-question memo of keyword-stem → vocabulary-id resolution.
+
+    :func:`keyword_positions_from_terms` resolves every keyword stem
+    against the vocabulary again for **every paragraph**; one question
+    scores hundreds of paragraphs against the same handful of keywords.
+    The resolver performs the lookups once per (vocabulary, question)
+    pair — one entry in practice, since all collections share the interned
+    vocabulary — and every paragraph after that runs only the packed-array
+    binary searches.  Shared by PS and AP within a question, it removes
+    the per-paragraph dict walks from both hot loops with bit-identical
+    positions (same lookups, hoisted).
+    """
+
+    __slots__ = ("kstems", "_by_vocab")
+
+    def __init__(self, kstems: t.Sequence[tuple[str, ...]]) -> None:
+        self.kstems = [tuple(ks) for ks in kstems]
+        # id(vocab) -> (vocab, precomputed); the vocab reference keeps the
+        # id stable for the resolver's lifetime.
+        self._by_vocab: dict[int, tuple[t.Any, list[tuple[int, t.Any, bool]]]] = {}
+
+    def resolve(self, vocab: t.Any) -> list[tuple[int, t.Any, bool]]:
+        """``(head_id, phrase_ids, resolvable)`` per keyword for ``vocab``."""
+        entry = self._by_vocab.get(id(vocab))
+        if entry is not None:
+            return entry[1]
+        lookup = vocab.lookup
+        pre: list[tuple[int, t.Any, bool]] = []
+        for ks in self.kstems:
+            head = lookup(ks[0])
+            if head < 0:
+                pre.append((head, None, False))
+            elif len(ks) == 1:
+                pre.append((head, None, True))
+            else:
+                kids = array("i", (lookup(s) for s in ks))
+                pre.append((head, kids, min(kids) >= 0))
+        self._by_vocab[id(vocab)] = (vocab, pre)
+        return pre
+
+
+def keyword_positions_from_ids(
+    terms: ParagraphTerms, resolved: t.Sequence[tuple[int, t.Any, bool]]
+) -> list[list[int]]:
+    """:func:`keyword_positions_from_terms` with the id lookups hoisted.
+
+    ``resolved`` comes from :meth:`KeywordIdResolver.resolve` on the
+    paragraph's vocabulary; only the per-paragraph binary searches remain,
+    so the output is exactly what :func:`keyword_positions_from_terms`
+    produces for the same keywords.
+    """
+    n = terms.n_tokens
+    positions: list[list[int]] = []
+    for head, kids, ok in resolved:
+        if not ok:
+            positions.append([])
+            continue
+        candidates = terms.positions_of_id(head)
+        if kids is None:
+            positions.append(list(candidates))
+            continue
+        klen = len(kids)
+        positions.append(
+            [
+                i
+                for i in candidates
+                if i + klen <= n and terms.ids_at(i, klen) == kids
+            ]
+        )
+    return positions
+
+
 class ParagraphScorer:
     """The PS module.
 
@@ -139,11 +214,31 @@ class ParagraphScorer:
         self.term_lookup = term_lookup
 
     def score(
-        self, processed: ProcessedQuestion, paragraphs: t.Sequence[Paragraph]
+        self,
+        processed: ProcessedQuestion,
+        paragraphs: t.Sequence[Paragraph],
+        resolver: KeywordIdResolver | None = None,
     ) -> list[ScoredParagraph]:
-        """Score every paragraph independently (embarrassingly parallel)."""
+        """Score every paragraph independently (embarrassingly parallel).
+
+        ``resolver`` (the batch path) hoists the per-paragraph keyword-id
+        lookups; scores are bit-identical with or without it.
+        """
         kstems = [kw.stems for kw in processed.keywords]
-        return [self.score_one(p, kstems) for p in paragraphs]
+        if resolver is None:
+            return [self.score_one(p, kstems) for p in paragraphs]
+        out: list[ScoredParagraph] = []
+        lookup = self.term_lookup
+        for p in paragraphs:
+            terms = lookup(p) if lookup else None
+            if terms is not None:
+                positions = keyword_positions_from_ids(
+                    terms, resolver.resolve(terms.vocab)
+                )
+            else:
+                positions, _ = keyword_positions(p.text, kstems)
+            out.append(self._score_positions(p, kstems, positions))
+        return out
 
     def score_one(
         self, paragraph: Paragraph, kstems: t.Sequence[tuple[str, ...]]
@@ -153,6 +248,15 @@ class ParagraphScorer:
             positions = keyword_positions_from_terms(terms, kstems)
         else:
             positions, _ = keyword_positions(paragraph.text, kstems)
+        return self._score_positions(paragraph, kstems, positions)
+
+    @staticmethod
+    def _score_positions(
+        paragraph: Paragraph,
+        kstems: t.Sequence[tuple[str, ...]],
+        positions: list[list[int]],
+    ) -> ScoredParagraph:
+        """The three LASSO heuristics over already-matched positions."""
         present = [k for k, pos in enumerate(positions) if pos]
         n_present = len(present)
         if n_present == 0:

@@ -25,14 +25,20 @@ from ..observability.names import (
     POSTINGS_SCANNED,
     PS_PARAGRAPH_BYTES,
     RELAXATION_ROUNDS,
+    RETRIEVAL_BATCH_DISTINCT,
+    RETRIEVAL_BATCH_POSTINGS_FETCHES,
+    RETRIEVAL_BATCH_POSTINGS_SHARED,
+    RETRIEVAL_BATCH_QUESTIONS,
+    RETRIEVAL_BATCH_SHARING_FACTOR,
     STEM_CACHE_HITS,
     STEM_CACHE_MISSES,
     VOCABULARY_SIZE,
 )
 from ..retrieval.collection import IndexedCorpus
 from .answer_processing import AnswerProcessor
+from .batch import BatchStats, execute_batch
 from .paragraph_ordering import ParagraphOrderer
-from .paragraph_retrieval import PRResult, ParagraphRetriever
+from .paragraph_retrieval import ParagraphRetriever
 from .paragraph_scoring import ParagraphScorer
 from .question import ModuleTimings, ProcessedQuestion, QAResult, Question
 from .question_processing import QuestionProcessor
@@ -85,6 +91,8 @@ class QAPipeline:
         self.ap = AnswerProcessor(
             recognizer, n_answers=n_answers, term_lookup=term_lookup
         )
+        #: Sharing/amortization stats of the most recent ``answer_batch``.
+        self.last_batch_stats: BatchStats | None = None
 
     def answer(self, question: Question | str, qid: int = 0) -> QAResult:
         """Answer one question, timing each module."""
@@ -125,7 +133,7 @@ class QAPipeline:
         )
         work[N_KEYWORDS] = float(len(processed.keywords))
         if self.metrics is not None:
-            self._record(pr_result, work)
+            self._record(work)
 
         return QAResult(
             processed=processed,
@@ -137,7 +145,44 @@ class QAPipeline:
             paragraph_ranks=tuple(sp.paragraph.key for sp in accepted),
         )
 
-    def _record(self, pr_result: PRResult, work: dict[str, float]) -> None:
+    def answer_batch(
+        self,
+        questions: t.Sequence[Question | str],
+        qids: t.Sequence[int] | None = None,
+    ) -> list[QAResult]:
+        """Answer a batch of questions with cross-question amortization.
+
+        Bit-identical to ``[self.answer(q) for q in questions]`` — same
+        answers, paragraph ranks, work counters and cache statistics —
+        but duplicates replay their first execution instead of re-running
+        the pipeline, posting lists are fetched once per distinct stem
+        per collection, and PS/AP keyword-id resolution is hoisted out of
+        the per-paragraph loops (see :mod:`repro.qa.batch`).  Sharing
+        accounting lands in :attr:`last_batch_stats` and, when a metrics
+        registry is attached, under the ``retrieval.batch.*`` names.
+        """
+        items: list[Question] = []
+        for i, q in enumerate(questions):
+            if isinstance(q, str):
+                q = Question(qid=qids[i] if qids is not None else 0, text=q)
+            items.append(q)
+        results, stats = execute_batch(self, items)
+        self.last_batch_stats = stats
+        if self.metrics is not None and items:
+            self.metrics.inc(RETRIEVAL_BATCH_QUESTIONS, float(stats.n_questions))
+            self.metrics.inc(RETRIEVAL_BATCH_DISTINCT, float(stats.n_distinct))
+            self.metrics.inc(
+                RETRIEVAL_BATCH_POSTINGS_FETCHES, float(stats.postings_fetches)
+            )
+            self.metrics.inc(
+                RETRIEVAL_BATCH_POSTINGS_SHARED, float(stats.postings_shared)
+            )
+            self.metrics.observe(
+                RETRIEVAL_BATCH_SHARING_FACTOR, stats.sharing_factor
+            )
+        return results
+
+    def _record(self, work: dict[str, float]) -> None:
         """Mirror the work counters into the registry (canonical names)."""
         assert self.metrics is not None
         for name in (

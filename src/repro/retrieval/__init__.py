@@ -1,6 +1,6 @@
 """Boolean information-retrieval substrate (the Zprise stand-in)."""
 
-from .boolean import BooleanRetriever, RetrievalResult
+from .boolean import BooleanRetriever, RetrievalResult, SharedPostings
 from .collection import IndexedCorpus
 from .inverted_index import (
     CollectionIndex,
@@ -26,6 +26,7 @@ __all__ = [
     "Paragraph",
     "ParagraphTerms",
     "RetrievalResult",
+    "SharedPostings",
     "StemCache",
     "StemSetView",
     "attach_payload",

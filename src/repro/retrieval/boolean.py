@@ -41,7 +41,27 @@ from ..nlp.keywords import Keyword
 from .inverted_index import CollectionIndex
 from .paragraphs import Paragraph
 
-__all__ = ["RetrievalResult", "BooleanRetriever"]
+__all__ = ["RetrievalResult", "BooleanRetriever", "SharedPostings"]
+
+
+class SharedPostings:
+    """Batch-scoped posting-list fetch sharing for one sub-collection.
+
+    While a batch is active (:meth:`BooleanRetriever.begin_batch`), every
+    posting-list resolution goes through this map, so distinct questions
+    sharing a stem — the common case under a Zipf question stream —
+    resolve each stem's postings against the index once per batch.  The
+    views themselves are the index's read-only memoryview slices; sharing
+    them is free and cannot change results.  ``fetches``/``shared`` feed
+    the ``retrieval.batch.*`` sharing-factor metrics.
+    """
+
+    __slots__ = ("views", "fetches", "shared")
+
+    def __init__(self) -> None:
+        self.views: dict[str, memoryview] = {}
+        self.fetches = 0
+        self.shared = 0
 
 
 @dataclass(slots=True)
@@ -158,6 +178,7 @@ class BooleanRetriever:
         self._cache = (
             _ConjunctionCache(conjunction_cache) if conjunction_cache else None
         )
+        self._shared: SharedPostings | None = None
 
     @property
     def cache_stats(self) -> dict[str, int]:
@@ -170,9 +191,53 @@ class BooleanRetriever:
             "size": len(self._cache),
         }
 
+    # -- batch hooks --------------------------------------------------------------
+    def begin_batch(self, shared: SharedPostings) -> None:
+        """Route posting-list fetches through a batch-scoped shared map."""
+        self._shared = shared
+
+    def end_batch(self) -> None:
+        """Detach the batch-scoped postings map (serial behaviour resumes)."""
+        self._shared = None
+
+    def replay_rounds(self, rounds: t.Sequence[tuple[str, ...]]) -> None:
+        """Re-touch the conjunction cache as a serial re-run would.
+
+        ``rounds`` is the per-relaxation-round stem-key sequence recorded
+        by :meth:`retrieve` (``round_trace``) during a question's first
+        execution.  Replaying a duplicate question issues the same cache
+        gets — recomputing and re-inserting on a miss, exactly like
+        :meth:`_conjunction` — so hit/miss counters, LRU order and
+        eviction behaviour stay bit-identical to serial execution while
+        the (deterministic) results themselves are reused.
+        """
+        cache = self._cache
+        if cache is None:
+            return
+        cid = self.index.collection_id
+        for stems in rounds:
+            if not stems:
+                continue
+            if cache.get((cid, stems)) is None:
+                docs, charged = (
+                    self._evaluate_galloping(stems)
+                    if self.galloping
+                    else self._evaluate_sets(stems)
+                )
+                cache.put((cid, stems), docs, charged)
+
     # -- public API ---------------------------------------------------------------
-    def retrieve(self, keywords: t.Sequence[Keyword]) -> RetrievalResult:
-        """Run the retrieval loop for ``keywords`` against this collection."""
+    def retrieve(
+        self,
+        keywords: t.Sequence[Keyword],
+        round_trace: list[tuple[str, ...]] | None = None,
+    ) -> RetrievalResult:
+        """Run the retrieval loop for ``keywords`` against this collection.
+
+        ``round_trace``, when given, collects the conjunction stem key of
+        every relaxation round — the batch engine's replay script for
+        duplicate questions (:meth:`replay_rounds`).
+        """
         result = RetrievalResult(
             collection_id=self.index.collection_id,
             paragraphs=[],
@@ -187,7 +252,7 @@ class BooleanRetriever:
         active = sorted(keywords, key=lambda k: k.priority)
         docs: t.AbstractSet[int] = set()
         while active:
-            docs = self._conjunction(active, result)
+            docs = self._conjunction(active, result, round_trace)
             result.relaxation_rounds += 1
             if len(docs) >= self.min_docs or len(active) == 1:
                 break
@@ -227,7 +292,10 @@ class BooleanRetriever:
 
     # -- internals ---------------------------------------------------------------
     def _conjunction(
-        self, active: t.Sequence[Keyword], result: RetrievalResult
+        self,
+        active: t.Sequence[Keyword],
+        result: RetrievalResult,
+        round_trace: list[tuple[str, ...]] | None = None,
     ) -> t.AbstractSet[int]:
         """Docs containing *every* stem of *every* active keyword.
 
@@ -237,6 +305,8 @@ class BooleanRetriever:
         reference implementation's accounting.
         """
         stems = tuple(s for kw in active for s in kw.stems)
+        if round_trace is not None:
+            round_trace.append(stems)
         if not stems:
             return set()
 
@@ -258,6 +328,25 @@ class BooleanRetriever:
             self._cache.put((self.index.collection_id, stems), docs, charged)
         return docs
 
+    def _fetch_postings(self, stem: str) -> memoryview:
+        """One stem's sorted posting view, shared across a batch if active.
+
+        The views are read-only slices of the index's flat posting
+        buffer, so serving a repeat fetch from the batch map is pure
+        amortization — same object, same contents, same charge.
+        """
+        shared = self._shared
+        if shared is None:
+            return self.index.sorted_postings(stem)
+        view = shared.views.get(stem)
+        if view is not None:
+            shared.shared += 1
+            return view
+        view = self.index.sorted_postings(stem)
+        shared.views[stem] = view
+        shared.fetches += 1
+        return view
+
     def _evaluate_galloping(
         self, stems: tuple[str, ...]
     ) -> tuple[frozenset[int], int]:
@@ -265,11 +354,12 @@ class BooleanRetriever:
         charged = 0
         arrays: list[memoryview] = []
         for s in stems:
-            n = self.index.document_frequency(s)
+            postings = self._fetch_postings(s)
+            n = len(postings)
             charged += n
             if n == 0:
                 return frozenset(), charged
-            arrays.append(self.index.sorted_postings(s))
+            arrays.append(postings)
         arrays.sort(key=len)
         current: t.Sequence[int] = arrays[0]
         for arr in arrays[1:]:
@@ -283,7 +373,7 @@ class BooleanRetriever:
         charged = 0
         doc_sets: list[set[int]] = []
         for s in stems:
-            postings = self.index.sorted_postings(s)
+            postings = self._fetch_postings(s)
             charged += len(postings)
             if not len(postings):
                 return frozenset(), charged

@@ -29,6 +29,7 @@ from .loadgen import (
     LoadgenConfig,
     format_serving,
     run_loadgen,
+    validate_bench_serving,
     write_serving_json,
     zipf_workload,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "TokenBucket",
     "format_serving",
     "run_loadgen",
+    "validate_bench_serving",
     "write_serving_json",
     "zipf_workload",
 ]

@@ -51,6 +51,7 @@ __all__ = [
     "LoadgenConfig",
     "format_serving",
     "run_loadgen",
+    "validate_bench_serving",
     "write_serving_json",
     "zipf_workload",
 ]
@@ -92,6 +93,13 @@ class LoadgenConfig:
     drain_timeout_s: float = 60.0
     #: Keep the full per-question decision list in each run record.
     record_decisions: bool = False
+    #: Serving-side micro-batch size (PR 7): accepted questions are
+    #: grouped up to this many per ``answer_batch`` call.  ``1`` keeps
+    #: the unbatched request-per-question path.  Admission decisions are
+    #: made before batching, so the decision digest is unchanged.
+    batch_max: int = 1
+    #: Oldest-request age that forces a partial micro-batch flush.
+    batch_wait_s: float = 0.005
 
     def admission(self, est_service_s: float) -> AdmissionConfig:
         """The admission config this sweep drives, at a given estimate."""
@@ -138,7 +146,13 @@ def _calibrate(
     config: LoadgenConfig, workload: t.Sequence[tuple[int, str]]
 ) -> dict[str, t.Any]:
     """Closed-loop burst: measure real saturation q/s and mean service."""
-    k = max(1, min(config.calibration_questions, len(workload)))
+    k = config.calibration_questions
+    if config.batch_max > 1:
+        # Enough batch requests to keep every worker busy several rounds,
+        # else request quantization (ceil(k/B) requests over W workers)
+        # dominates the measurement instead of the batched service rate.
+        k = max(k, config.batch_max * max(1, config.workers) * 4)
+    k = max(1, min(k, len(workload)))
     items = list(workload[:k])
     if config.workers >= 1:
         pool: t.Any = ProcessWorkerPool(config.corpus, config.workers)
@@ -149,8 +163,21 @@ def _calibrate(
     pool.start()
     try:
         t0 = time.time()
-        for i, (qid, text) in enumerate(items):
-            pool.submit(i, qid, text, time.time())
+        if config.batch_max > 1 and hasattr(pool, "submit_batch"):
+            # Mirror the server's micro-batcher: chunks of batch_max, so
+            # calibration measures the *batched* saturation throughput.
+            for i0 in range(0, k, config.batch_max):
+                chunk = items[i0 : i0 + config.batch_max]
+                now = time.time()
+                pool.submit_batch(
+                    [
+                        (i0 + j, qid, text, now)
+                        for j, (qid, text) in enumerate(chunk)
+                    ]
+                )
+        else:
+            for i, (qid, text) in enumerate(items):
+                pool.submit(i, qid, text, time.time())
         results = list(pool.poll())
         deadline = time.monotonic() + 120.0
         while len(results) < k and time.monotonic() < deadline:
@@ -198,6 +225,8 @@ def _run_once(
         admission=config.admission(est_service_s),
         workers=config.workers,
         drain_timeout_s=config.drain_timeout_s,
+        batch_max=config.batch_max,
+        batch_wait_s=config.batch_wait_s,
     )
     server = QAServer(server_config)
     with server:
@@ -242,6 +271,23 @@ def _run_once(
             },
             "conservation_ok": ledger.balanced,
         }
+        # Micro-batch sharing, as recorded by the stage:PR-batch spans.
+        batch_spans = [
+            s
+            for s in server.spans.spans
+            if s.name == "stage:PR-batch" and "sharing_factor" in s.attrs
+        ]
+        run["batch"] = {
+            "batch_max": config.batch_max,
+            "n_batched_questions": len(batch_spans),
+        }
+        if batch_spans:
+            run["batch"]["sharing_factor_mean"] = sum(
+                s.attrs["sharing_factor"] for s in batch_spans
+            ) / len(batch_spans)
+            run["batch"]["amortized_postings_scanned_mean"] = sum(
+                s.attrs["amortized_postings_scanned"] for s in batch_spans
+            ) / len(batch_spans)
         if config.record_decisions:
             run["decisions"] = [list(k) for k in decision_key]
         return run
@@ -359,8 +405,12 @@ def run_loadgen(config: LoadgenConfig | None = None) -> dict[str, t.Any]:
         runs, service_floor_s=calibration.get("service_mean_s", est_service_s)
     )
     return {
-        "schema": "bench_serving/v1",
+        "schema": "bench_serving/v2",
         "config": asdict(config),
+        "batch": {
+            "batch_max": config.batch_max,
+            "batch_wait_s": config.batch_wait_s,
+        },
         "workload": {
             "n_questions": config.n_questions,
             "n_unique": config.n_unique,
@@ -406,6 +456,23 @@ def format_serving(summary: dict[str, t.Any]) -> str:
             f"{led['drained']:>5} | {run['throughput_qps']:>7.1f} | "
             f"{lat['p50_s'] * 1e3:>8.2f} | {lat['p99_s'] * 1e3:>8.2f}"
         )
+    bat = summary.get("batch") or {}
+    if bat.get("batch_max", 1) > 1:
+        sharings = [
+            r["batch"]["sharing_factor_mean"]
+            for r in summary["runs"]
+            if r.get("batch", {}).get("sharing_factor_mean")
+        ]
+        mean_txt = (
+            f", mean sharing {sum(sharings) / len(sharings):.2f}"
+            if sharings
+            else ""
+        )
+        lines.append(
+            f"micro-batching: up to {bat['batch_max']} questions per worker "
+            f"request (flush at {bat.get('batch_wait_s', 0.0) * 1e3:.1f} ms)"
+            f"{mean_txt}"
+        )
     over = summary["overload"]
     if "p99_ratio" in over:
         lines.append(
@@ -423,6 +490,39 @@ def format_serving(summary: dict[str, t.Any]) -> str:
         )
     )
     return "\n".join(lines)
+
+
+def validate_bench_serving(summary: dict[str, t.Any]) -> None:
+    """Schema check for ``BENCH_serving.json`` — raises on drift.
+
+    v2 adds the micro-batch block (top-level ``batch`` plus a per-run
+    ``batch`` record carrying the sharing stats from the
+    ``stage:PR-batch`` spans).
+    """
+    if summary.get("schema") != "bench_serving/v2":
+        raise ValueError(f"unexpected schema: {summary.get('schema')!r}")
+    for key in ("config", "workload", "calibration", "runs", "overload", "ok"):
+        if key not in summary:
+            raise ValueError(f"missing top-level key: {key}")
+    batch = summary.get("batch")
+    if not isinstance(batch, dict) or "batch_max" not in batch:
+        raise ValueError("v2 summary must carry a 'batch' block")
+    for i, run in enumerate(summary["runs"]):
+        for key in (
+            "label",
+            "offered_qps",
+            "ledger",
+            "latency_s",
+            "decision_digest",
+            "conservation_ok",
+            "batch",
+        ):
+            if key not in run:
+                raise ValueError(f"runs[{i}] missing {key}")
+        led = run["ledger"]
+        for key in ("submitted", "answered", "shed", "drained"):
+            if key not in led:
+                raise ValueError(f"runs[{i}].ledger missing {key}")
 
 
 def write_serving_json(

@@ -67,6 +67,15 @@ class ServerConfig:
     workers: int = 3
     #: Seconds in-flight questions get to finish at shutdown.
     drain_timeout_s: float = 60.0
+    #: Admission-side micro-batcher (PR 7): accepted questions are held
+    #: until ``batch_max`` accumulate or the oldest has waited
+    #: ``batch_wait_s``, then handed to one worker as a single
+    #: ``answer_batch`` request.  ``1`` disables batching.  Admission
+    #: decisions are made *before* buffering, so the accept/shed decision
+    #: sequence (and the loadgen's decision digest) is byte-identical to
+    #: unbatched serving by construction.
+    batch_max: int = 1
+    batch_wait_s: float = 0.005
     #: Observability switches (spans cost memory on long runs).
     metrics_enabled: bool = True
     spans_enabled: bool = True
@@ -95,6 +104,8 @@ class QAServer:
         self.spans = SpanStream(enabled=self.config.spans_enabled)
         self.responses: list[ServeResponse] = []
         self._pending: dict[int, _Pending] = {}
+        #: Accepted-but-unsent requests awaiting a micro-batch flush.
+        self._batch_buf: list[tuple[int, int, str, float]] = []
         self._next_seq = 0
         self._started = False
         self._drained = False
@@ -162,7 +173,12 @@ class QAServer:
                 self.metrics.gauge(SERVING_QUEUE_DEPTH).set(
                     float(len(self._pending))
                 )
-            self.pool.submit(seq, qid, text, submit_wall)
+            if self._batching:
+                self._batch_buf.append((seq, qid, text, submit_wall))
+                if len(self._batch_buf) >= self.config.batch_max:
+                    self._flush_batch()
+            else:
+                self.pool.submit(seq, qid, text, submit_wall)
         else:
             reason = decision.shed_reason or ShedReason.QUEUE_FULL
             self.ledger.record(Outcome.SHED, reason)
@@ -187,6 +203,25 @@ class QAServer:
                     predicted_wait_s=decision.predicted_wait_s,
                 )
         return decision
+
+    # -- micro-batching ----------------------------------------------------------
+    @property
+    def _batching(self) -> bool:
+        return self.config.batch_max > 1 and hasattr(self.pool, "submit_batch")
+
+    def _flush_batch(self) -> None:
+        """Hand the buffered accepted requests to one worker as a batch."""
+        if not self._batch_buf:
+            return
+        buf, self._batch_buf = self._batch_buf, []
+        self.pool.submit_batch(buf)
+
+    def _maybe_flush_batch(self) -> None:
+        """Flush on age: the oldest buffered request waited long enough."""
+        if self._batch_buf and (
+            time.time() - self._batch_buf[0][3] >= self.config.batch_wait_s
+        ):
+            self._flush_batch()
 
     # -- completion --------------------------------------------------------------
     def _complete(self, res: ExecutionResult) -> None:
@@ -230,11 +265,36 @@ class QAServer:
                 "service", SpanCategory.COMPUTE, res.qid,
                 node_id=res.worker_pid, time=wait_end, parent=root,
             )
+            if res.batch is not None:
+                # Batched execution: surface the amortized PR phase as a
+                # stage:PR-batch child so the attribution fold sees the
+                # sharing (critical-path compute == pr, so the categories
+                # still sum exactly to the question wall).
+                batch_size, n_distinct, sharing, amortized = res.batch
+                pr_s = min(max(0.0, res.pr_s), res.service_s)
+                stage = self.spans.begin(
+                    "stage:PR-batch", SpanCategory.PARTITION, res.qid,
+                    node_id=res.worker_pid, time=wait_end, parent=service,
+                )
+                pr_span = self.spans.begin(
+                    "pr", SpanCategory.COMPUTE, res.qid,
+                    node_id=res.worker_pid, time=wait_end, parent=stage,
+                )
+                self.spans.end(pr_span, wait_end + pr_s)
+                self.spans.end(
+                    stage,
+                    wait_end + pr_s,
+                    batch_size=batch_size,
+                    n_distinct=n_distinct,
+                    sharing_factor=sharing,
+                    amortized_postings_scanned=amortized,
+                )
             self.spans.end(service, wait_end + res.service_s)
             self.spans.end(root, max(end_wall, wait_end + res.service_s))
 
     def poll(self) -> int:
         """Fold any finished questions into the ledger; returns the count."""
+        self._maybe_flush_batch()
         results = self.pool.poll()
         for res in results:
             self._complete(res)
@@ -251,6 +311,7 @@ class QAServer:
         if self._drained:
             return self.ledger
         self.admission.start_draining()
+        self._flush_batch()  # nothing accepted may sit in the buffer
         timeout = self.config.drain_timeout_s if timeout_s is None else timeout_s
         if self._started:
             for res in self.pool.drain(timeout):

@@ -15,8 +15,13 @@ Two interchangeable executors sit behind
 
 Both speak :class:`ExecutionResult`, the minimal completion record the
 server folds into ledger + metrics + spans.  Requests cross the process
-boundary as plain tuples (seq, qid, text, submit_wall) and results come
-back as tagged tuples — tiny, picklable, and version-free.
+boundary as plain tuples (seq, qid, text, submit_wall) — or, for the
+micro-batcher (PR 7), as ``("batch", [tuples...])``, executed through
+``QAPipeline.answer_batch`` so duplicate questions replay and posting
+fetches are shared — and results come back as tagged tuples — tiny,
+picklable, and version-free.  Batched execution is bit-identical in
+answers; each question still gets its own completion record, carrying
+the batch's sharing stats for the ``stage:PR-batch`` span.
 """
 
 from __future__ import annotations
@@ -52,6 +57,11 @@ class ExecutionResult:
     service_s: float
     worker_pid: int
     error: str = ""
+    #: Seconds of the PR phase inside ``service_s`` (0 when unknown).
+    pr_s: float = 0.0
+    #: When executed as part of a micro-batch: (batch_size, n_distinct,
+    #: sharing_factor, amortized_postings_scanned); ``None`` otherwise.
+    batch: tuple[int, int, float, float] | None = None
 
 
 def _digest_answers(answers: t.Sequence[t.Any]) -> tuple[tuple[str, float], ...]:
@@ -74,15 +84,69 @@ def _worker_main(
         if item is None:
             responses.put(("bye", os.getpid()))
             return
+        if isinstance(item, tuple) and item[0] == "batch":
+            entries: list[tuple[int, int, str, float]] = item[1]
+            picked_wall = time.time()
+            t0 = time.perf_counter()
+            try:
+                batch_results = ctx.pipeline.answer_batch(
+                    [e[2] for e in entries], [e[1] for e in entries]
+                )
+                stats = ctx.pipeline.last_batch_stats
+                binfo = (
+                    len(entries),
+                    stats.n_distinct,
+                    stats.sharing_factor,
+                    stats.amortized_postings_scanned,
+                )
+                for (seq, qid, _text, submit_wall), r in zip(
+                    entries, batch_results
+                ):
+                    responses.put(
+                        (
+                            "done",
+                            seq,
+                            qid,
+                            _digest_answers(r.answers),
+                            max(0.0, picked_wall - submit_wall),
+                            r.timings.total,
+                            os.getpid(),
+                            "",
+                            r.timings.pr,
+                            binfo,
+                        )
+                    )
+            except Exception as exc:  # account every item of the batch
+                error = f"{type(exc).__name__}: {exc}"
+                service_s = time.perf_counter() - t0
+                per_item = service_s / max(1, len(entries))
+                for seq, qid, _text, submit_wall in entries:
+                    responses.put(
+                        (
+                            "done",
+                            seq,
+                            qid,
+                            (),
+                            max(0.0, picked_wall - submit_wall),
+                            per_item,
+                            os.getpid(),
+                            error,
+                            0.0,
+                            None,
+                        )
+                    )
+            continue
         seq, qid, text, submit_wall = item
         picked_wall = time.time()
         t0 = time.perf_counter()
         try:
             result = ctx.pipeline.answer(text, qid=qid)
             answers = _digest_answers(result.answers)
+            pr_s = result.timings.pr
             error = ""
         except Exception as exc:  # the question must still be accounted for
             answers = ()
+            pr_s = 0.0
             error = f"{type(exc).__name__}: {exc}"
         service_s = time.perf_counter() - t0
         responses.put(
@@ -95,6 +159,8 @@ def _worker_main(
                 service_s,
                 os.getpid(),
                 error,
+                pr_s,
+                None,
             )
         )
 
@@ -168,8 +234,14 @@ class ProcessWorkerPool:
     def submit(self, seq: int, qid: int, text: str, submit_wall: float) -> None:
         self._requests.put((seq, qid, text, submit_wall))
 
+    def submit_batch(
+        self, items: t.Sequence[tuple[int, int, str, float]]
+    ) -> None:
+        """Hand a micro-batch to one worker as a single request."""
+        self._requests.put(("batch", list(items)))
+
     def _to_result(self, msg: tuple[t.Any, ...]) -> ExecutionResult:
-        _, seq, qid, answers, wait_s, service_s, pid, error = msg
+        _, seq, qid, answers, wait_s, service_s, pid, error, pr_s, batch = msg
         return ExecutionResult(
             seq=seq,
             qid=qid,
@@ -178,6 +250,8 @@ class ProcessWorkerPool:
             service_s=service_s,
             worker_pid=pid,
             error=error,
+            pr_s=pr_s,
+            batch=batch,
         )
 
     def poll(self) -> list[ExecutionResult]:
@@ -244,9 +318,11 @@ class InlineExecutor:
         try:
             result = self.pipeline.answer(text, qid=qid)
             answers = _digest_answers(result.answers)
+            pr_s = result.timings.pr
             error = ""
         except Exception as exc:
             answers = ()
+            pr_s = 0.0
             error = f"{type(exc).__name__}: {exc}"
         self._completed.append(
             ExecutionResult(
@@ -257,8 +333,53 @@ class InlineExecutor:
                 service_s=time.perf_counter() - t0,
                 worker_pid=0,
                 error=error,
+                pr_s=pr_s,
             )
         )
+
+    def submit_batch(
+        self, items: t.Sequence[tuple[int, int, str, float]]
+    ) -> None:
+        """Execute a micro-batch inline through ``answer_batch``."""
+        try:
+            results = self.pipeline.answer_batch(
+                [i[2] for i in items], [i[1] for i in items]
+            )
+            stats = self.pipeline.last_batch_stats
+            binfo = (
+                len(items),
+                stats.n_distinct,
+                stats.sharing_factor,
+                stats.amortized_postings_scanned,
+            )
+            for (seq, qid, _text, _wall), r in zip(items, results):
+                self._completed.append(
+                    ExecutionResult(
+                        seq=seq,
+                        qid=qid,
+                        answers=_digest_answers(r.answers),
+                        wait_s=0.0,
+                        service_s=r.timings.total,
+                        worker_pid=0,
+                        error="",
+                        pr_s=r.timings.pr,
+                        batch=binfo,
+                    )
+                )
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            for seq, qid, _text, _wall in items:
+                self._completed.append(
+                    ExecutionResult(
+                        seq=seq,
+                        qid=qid,
+                        answers=(),
+                        wait_s=0.0,
+                        service_s=0.0,
+                        worker_pid=0,
+                        error=error,
+                    )
+                )
 
     def poll(self) -> list[ExecutionResult]:
         out, self._completed = self._completed, []

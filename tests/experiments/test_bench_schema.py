@@ -1,0 +1,91 @@
+"""The checked-in BENCH_*.json artifacts must match their validators.
+
+``validate_bench_throughput`` / ``validate_bench_serving`` are the
+schema contracts CI and trend tooling rely on; these tests pin (a) that
+the validators accept the artifacts actually checked into the repo, and
+(b) that they reject drifted payloads instead of passing vacuously.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.throughput_bench import validate_bench_throughput
+from repro.serving import validate_bench_serving
+
+_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def throughput_summary():
+    return json.loads((_ROOT / "BENCH_throughput.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def serving_summary():
+    return json.loads((_ROOT / "BENCH_serving.json").read_text())
+
+
+class TestThroughputSchema:
+    def test_checked_in_artifact_validates(self, throughput_summary):
+        validate_bench_throughput(throughput_summary)
+
+    def test_rejects_old_schema_version(self, throughput_summary):
+        bad = copy.deepcopy(throughput_summary)
+        bad["schema"] = "bench_throughput/v2"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_throughput(bad)
+
+    def test_rejects_missing_batched_columns(self, throughput_summary):
+        bad = copy.deepcopy(throughput_summary)
+        del bad["batched"]
+        with pytest.raises(ValueError, match="batched"):
+            validate_bench_throughput(bad)
+
+    def test_rejects_batched_column_without_sharing(self, throughput_summary):
+        bad = copy.deepcopy(throughput_summary)
+        first = next(iter(bad["batched"]))
+        del bad["batched"][first]["sharing_factor_mean"]
+        with pytest.raises(ValueError, match="sharing_factor_mean"):
+            validate_bench_throughput(bad)
+
+    def test_checked_in_batch_speedup_meets_target(self, throughput_summary):
+        """The acceptance floor: >= 1.3x q/s at batch 16 vs batch 1."""
+        speedup = throughput_summary["batch_speedup"]
+        assert speedup["16"] >= 1.3, speedup
+        assert throughput_summary["equivalence"]["equivalent"]
+
+
+class TestServingSchema:
+    def test_checked_in_artifact_validates(self, serving_summary):
+        validate_bench_serving(serving_summary)
+
+    def test_rejects_old_schema_version(self, serving_summary):
+        bad = copy.deepcopy(serving_summary)
+        bad["schema"] = "bench_serving/v1"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_serving(bad)
+
+    def test_rejects_missing_batch_block(self, serving_summary):
+        bad = copy.deepcopy(serving_summary)
+        del bad["batch"]
+        with pytest.raises(ValueError, match="batch"):
+            validate_bench_serving(bad)
+
+    def test_rejects_unbalanced_ledger_shape(self, serving_summary):
+        bad = copy.deepcopy(serving_summary)
+        del bad["runs"][0]["ledger"]["shed"]
+        with pytest.raises(ValueError, match="ledger"):
+            validate_bench_serving(bad)
+
+    def test_checked_in_runs_conserve(self, serving_summary):
+        for run in serving_summary["runs"]:
+            led = run["ledger"]
+            assert (
+                led["answered"] + led["shed"] + led["drained"]
+                == led["submitted"]
+            ), run["label"]

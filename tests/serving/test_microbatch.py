@@ -1,0 +1,155 @@
+"""Serving micro-batcher (PR 7): amortize execution, change no decision.
+
+The batcher sits strictly *after* admission: decisions (and therefore
+the decision digest) are made per question against scheduled arrival
+times, then accepted requests are buffered up to ``batch_max`` or until
+the oldest has waited ``batch_wait_s``, and handed to one worker as a
+single ``answer_batch`` request.  These tests pin the three invariants:
+
+* the accept/shed decision digest is byte-identical to unbatched
+  serving for a fixed rate + service estimate;
+* conservation still balances exactly (nothing is lost in the buffer —
+  ``drain`` flushes before the pool drains);
+* flush triggers behave: a full buffer flushes immediately, a partial
+  buffer flushes on age via ``poll``, and batched completions carry the
+  sharing stats into ``stage:PR-batch`` spans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.corpus import CorpusConfig
+from repro.serving import LoadgenConfig, QAServer, ServerConfig, run_loadgen
+from repro.serving.workers import InlineExecutor
+
+CORPUS = CorpusConfig(
+    n_collections=3, docs_per_collection=20, vocab_size=500, seed=31
+)
+
+BASE = LoadgenConfig(
+    corpus=CORPUS,
+    n_questions=40,
+    n_unique=12,
+    workload_seed=1234,
+    workers=0,
+    rate_qps=120.0,
+    est_service_s=0.03,
+    max_queue_depth=3,
+    pace=False,
+    record_decisions=True,
+    drain_timeout_s=30.0,
+)
+
+
+@pytest.fixture(scope="module")
+def inline_server_parts(shared_pipeline):
+    """Builder for inline micro-batched servers over the shared stack."""
+
+    def build(batch_max: int, batch_wait_s: float = 10.0) -> QAServer:
+        return QAServer(
+            ServerConfig(
+                corpus=CORPUS,
+                workers=0,
+                batch_max=batch_max,
+                batch_wait_s=batch_wait_s,
+            ),
+            pool=InlineExecutor(shared_pipeline),
+        )
+
+    return build
+
+
+class TestDecisionDigest:
+    def test_digest_unchanged_by_batching(self):
+        """Batched and unbatched serving shed exactly the same questions."""
+        unbatched = run_loadgen(BASE)
+        batched = run_loadgen(replace(BASE, batch_max=4))
+        a, b = unbatched["runs"][0], batched["runs"][0]
+        assert a["decision_digest"] == b["decision_digest"]
+        assert a["decisions"] == b["decisions"]
+        assert a["ledger"] == b["ledger"]
+        assert b["batch"]["batch_max"] == 4
+        assert b["batch"]["n_batched_questions"] > 0
+        for run in (a, b):
+            assert run["conservation_ok"]
+
+
+class TestFlushBehavior:
+    def test_full_buffer_flushes_immediately(
+        self, inline_server_parts, shared_questions
+    ):
+        server = inline_server_parts(batch_max=3)
+        with server:
+            texts = [q.text for q in shared_questions[:3]]
+            for i, text in enumerate(texts[:2]):
+                server.submit(text, qid=i, arrival_s=float(i))
+            assert len(server._batch_buf) == 2  # below batch_max: held
+            server.submit(texts[2], qid=2, arrival_s=2.0)
+            assert len(server._batch_buf) == 0  # hit batch_max: flushed
+            server.poll()
+            ledger = server.drain()
+        assert ledger.answered == 3 and ledger.balanced
+        spans = [
+            s for s in server.spans.spans if s.name == "stage:PR-batch"
+        ]
+        assert len(spans) == 3
+        assert all(s.attrs["batch_size"] == 3 for s in spans)
+
+    def test_partial_buffer_flushes_on_age(
+        self, inline_server_parts, shared_questions
+    ):
+        server = inline_server_parts(batch_max=8, batch_wait_s=0.01)
+        with server:
+            server.submit(shared_questions[0].text, qid=0, arrival_s=0.0)
+            assert len(server._batch_buf) == 1
+            server.poll()  # too young: still buffered
+            assert len(server._batch_buf) == 1
+            time.sleep(0.02)
+            server.poll()  # oldest aged out: flushed and executed
+            assert len(server._batch_buf) == 0
+            ledger = server.drain()
+        assert ledger.answered == 1 and ledger.balanced
+
+    def test_drain_flushes_leftovers(
+        self, inline_server_parts, shared_questions
+    ):
+        """Buffered-but-unflushed questions must not be lost at shutdown."""
+        server = inline_server_parts(batch_max=8, batch_wait_s=60.0)
+        with server:
+            for i in range(4):
+                server.submit(
+                    shared_questions[i].text, qid=i, arrival_s=float(i)
+                )
+            assert len(server._batch_buf) == 4
+            ledger = server.drain()
+        assert ledger.answered == 4
+        assert ledger.drained == 0
+        assert ledger.balanced
+
+    def test_batched_attribution_still_sums(
+        self, inline_server_parts, shared_questions
+    ):
+        """stage:PR-batch spans keep the categories == wall invariant."""
+        from repro.observability.attribution import attribute_question
+
+        server = inline_server_parts(batch_max=2, batch_wait_s=0.001)
+        with server:
+            for i in range(4):
+                server.submit(
+                    shared_questions[i].text, qid=i, arrival_s=float(i)
+                )
+                server.poll()
+            server.drain()
+        checked = 0
+        for qid in server.spans.question_ids():
+            for root in server.spans.roots(qid):
+                qa = attribute_question(server.spans, root)
+                assert qa.total_attributed_s == pytest.approx(
+                    qa.wall_s, abs=1e-9
+                )
+                checked += 1
+        assert checked == 4
