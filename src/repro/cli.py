@@ -269,6 +269,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         ),
         workers=args.workers,
         drain_timeout_s=args.drain_timeout,
+        trace_sample_rate=args.sample,
+        trace_seed=args.trace_seed,
+        telemetry_path=args.telemetry,
     )
     server = QAServer(config)
     print(
@@ -370,6 +373,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> None:
         record_decisions=args.decisions_out is not None,
         batch_max=args.batch,
         batch_wait_s=args.batch_wait,
+        trace_sample_rate=args.sample,
+        trace_seed=args.trace_seed,
+        telemetry_out=args.telemetry,
+        trace_out=args.trace_out,
+        measure_overhead=args.measure_obs_overhead,
     )
     summary = run_loadgen(config)
     print(format_serving(summary))
@@ -392,6 +400,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> None:
             "loadgen FAILED: overload criteria not met "
             f"({json.dumps(summary['overload'], default=str)})"
         )
+
+
+def _cmd_top(args: argparse.Namespace) -> None:
+    from .serving import run_top
+
+    try:
+        run_top(args.telemetry, follow=args.follow, interval_s=args.interval)
+    except BrokenPipeError:
+        # `repro top | head` closing the pipe is a normal way to stop.
+        import os
+        import sys
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os._exit(0)
 
 
 def main(argv: t.Sequence[str] | None = None) -> None:
@@ -586,6 +610,19 @@ def main(argv: t.Sequence[str] | None = None) -> None:
         "--drain-timeout", type=float, default=60.0,
         help="seconds in-flight questions get to finish at shutdown",
     )
+    serve.add_argument(
+        "--sample", type=float, default=0.0,
+        help="head-sampling rate for stitched worker traces in [0, 1] "
+        "(deterministic per seed+seq; decided after admission)",
+    )
+    serve.add_argument(
+        "--trace-seed", type=int, default=0, help="head-sampler seed",
+    )
+    serve.add_argument(
+        "--telemetry", default=None,
+        help="stream telemetry/v1 JSONL records to this path "
+        "(tail it live with `repro top --follow`)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -668,7 +705,47 @@ def main(argv: t.Sequence[str] | None = None) -> None:
         help="exit nonzero unless the overload criteria hold "
         "(nonzero shed, bounded accepted-p99, exact conservation)",
     )
+    loadgen.add_argument(
+        "--sample", type=float, default=0.0,
+        help="head-sampling rate for stitched worker traces in [0, 1]",
+    )
+    loadgen.add_argument(
+        "--trace-seed", type=int, default=0, help="head-sampler seed",
+    )
+    loadgen.add_argument(
+        "--telemetry", default=None,
+        help="base path for per-run telemetry/v1 JSONL files "
+        "(<stem>-<label><suffix>)",
+    )
+    loadgen.add_argument(
+        "--trace-out", default=None,
+        help="write the at-saturation run's stitched spans as a Chrome "
+        "trace with one lane per process",
+    )
+    loadgen.add_argument(
+        "--measure-obs-overhead", action="store_true",
+        help="re-run the at-saturation point with observability off and "
+        "record the throughput overhead in the summary",
+    )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    top = sub.add_parser(
+        "top",
+        help="text dashboard over a telemetry.jsonl file (live or finished)",
+    )
+    top.add_argument(
+        "--telemetry", default="telemetry.jsonl",
+        help="telemetry/v1 JSONL file written by serve/loadgen",
+    )
+    top.add_argument(
+        "--follow", action="store_true",
+        help="keep re-reading the file every --interval seconds",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period with --follow",
+    )
+    top.set_defaults(func=_cmd_top)
 
     args = parser.parse_args(argv)
     args.func(args)

@@ -311,7 +311,7 @@ def build_serving_context(
         corpus=corpus,
         indexed=indexed,
         recognizer=recognizer,
-        pipeline=QAPipeline(indexed, recognizer),
+        pipeline=QAPipeline(indexed, recognizer, metrics=metrics),
         questions=[],
         model=CostModel.default(),
         index_source=index_source,

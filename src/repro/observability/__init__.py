@@ -39,15 +39,35 @@ from .exporters import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    gauge_label,
+    merge_snapshots,
+)
 from .observe import ObserveConfig, format_observe, run_observe
 from .spans import Span, SpanCategory, SpanStream
+from .telemetry import (
+    TELEMETRY_SCHEMA,
+    HeadSampler,
+    TelemetryWriter,
+    TraceContext,
+    graft_spans,
+    pack_spans,
+    read_telemetry,
+    validate_telemetry_file,
+    validate_telemetry_line,
+    worker_span_records,
+)
 
 __all__ = [
     "ATTRIBUTION_CATEGORIES",
     "AttributionReport",
     "Counter",
     "Gauge",
+    "HeadSampler",
     "Histogram",
     "MetricsRegistry",
     "ObserveConfig",
@@ -55,15 +75,26 @@ __all__ = [
     "Span",
     "SpanCategory",
     "SpanStream",
+    "TELEMETRY_SCHEMA",
+    "TelemetryWriter",
+    "TraceContext",
     "attribute_question",
     "attribute_workload",
     "chrome_trace",
     "format_attribution",
     "format_observe",
+    "gauge_label",
+    "graft_spans",
+    "merge_snapshots",
+    "pack_spans",
+    "read_telemetry",
     "run_observe",
     "span_to_json",
     "validate_chrome_trace",
     "validate_jsonl_line",
+    "validate_telemetry_file",
+    "validate_telemetry_line",
+    "worker_span_records",
     "write_chrome_trace",
     "write_jsonl",
 ]

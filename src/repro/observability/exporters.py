@@ -22,6 +22,7 @@ with a precise message on the first violation.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import typing as t
 
@@ -70,33 +71,75 @@ def write_jsonl(
     out = pathlib.Path(path)
     with out.open("w") as fh:
         if header is not None:
-            fh.write(json.dumps({"record": "header", **header}) + "\n")
+            fh.write(
+                json.dumps({"record": "header", **header}, allow_nan=False)
+                + "\n"
+            )
         for span in stream.spans:
-            fh.write(json.dumps(span_to_json(span)) + "\n")
+            fh.write(json.dumps(span_to_json(span), allow_nan=False) + "\n")
         if metrics is not None:
             fh.write(
-                json.dumps({"record": "metrics", "metrics": metrics.to_dict()})
+                json.dumps(
+                    {"record": "metrics", "metrics": metrics.to_dict()},
+                    allow_nan=False,
+                )
                 + "\n"
             )
     return out
 
 
 def chrome_trace(
-    stream: SpanStream, label: str = "repro observe"
+    stream: SpanStream,
+    label: str = "repro observe",
+    stable_pids: bool = False,
+    process_names: dict[int, str] | None = None,
 ) -> dict[str, t.Any]:
-    """Render the span stream in Chrome ``trace_event`` JSON format."""
+    """Render the span stream in Chrome ``trace_event`` JSON format.
+
+    By default ``pid`` is the raw ``node_id`` (simulator traces, where
+    node ids are small and dense).  With ``stable_pids=True`` node ids
+    are remapped to contiguous pids in sorted order — for multi-process
+    serving traces, where node ids are OS worker pids: the server's
+    ``node_id=-1`` becomes pid 0 (lane "server") and each worker gets
+    its own stable lane ("worker-<ospid>"), instead of every process
+    interleaving on huge raw-pid rows.  ``process_names`` overrides the
+    lane label per node id in either mode.
+    """
     events: list[dict[str, t.Any]] = []
     node_ids = sorted({s.node_id for s in stream.spans})
+    if stable_pids:
+        pid_map = {nid: i for i, nid in enumerate(node_ids)}
+
+        def default_name(nid: int) -> str:
+            return "server" if nid < 0 else f"worker-{nid}"
+
+    else:
+        pid_map = {nid: nid for nid in node_ids}
+
+        def default_name(nid: int) -> str:
+            return f"N{nid}"
+
     for nid in node_ids:
+        name = (process_names or {}).get(nid, default_name(nid))
         events.append(
             {
                 "ph": "M",
                 "name": "process_name",
-                "pid": nid,
+                "pid": pid_map[nid],
                 "tid": 0,
-                "args": {"name": f"N{nid}"},
+                "args": {"name": name},
             }
         )
+        if stable_pids:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_sort_index",
+                    "pid": pid_map[nid],
+                    "tid": 0,
+                    "args": {"sort_index": pid_map[nid]},
+                }
+            )
     for span in stream.spans:
         args: dict[str, t.Any] = {"qid": span.qid, "sid": span.sid}
         if span.parent_id >= 0:
@@ -107,7 +150,7 @@ def chrome_trace(
         common = {
             "name": span.name,
             "cat": span.cat,
-            "pid": span.node_id,
+            "pid": pid_map[span.node_id],
             "tid": span.qid,
             "ts": span.t0 * _MICRO,
             "args": args,
@@ -129,10 +172,15 @@ def write_chrome_trace(
     stream: SpanStream,
     path: str | pathlib.Path,
     label: str = "repro observe",
+    stable_pids: bool = False,
+    process_names: dict[int, str] | None = None,
 ) -> pathlib.Path:
     """Write :func:`chrome_trace` output to ``path``."""
     out = pathlib.Path(path)
-    out.write_text(json.dumps(chrome_trace(stream, label=label)) + "\n")
+    trace = chrome_trace(
+        stream, label=label, stable_pids=stable_pids, process_names=process_names
+    )
+    out.write_text(json.dumps(trace, allow_nan=False) + "\n")
     return out
 
 
@@ -164,6 +212,8 @@ def validate_jsonl_line(obj: dict[str, t.Any]) -> None:
                 raise ValueError(
                     f"span field {key!r} has wrong type: {obj[key]!r}"
                 )
+        if not (math.isfinite(obj["t0"]) and math.isfinite(obj["t1"])):
+            raise ValueError(f"span has non-finite timestamps: {obj}")
         if obj["t1"] < obj["t0"]:
             raise ValueError(f"span ends before it starts: {obj}")
     elif record == "metrics":
@@ -173,6 +223,12 @@ def validate_jsonl_line(obj: dict[str, t.Any]) -> None:
         for name, body in metrics.items():
             if body.get("type") not in {"counter", "gauge", "histogram"}:
                 raise ValueError(f"metric {name!r} has bad type: {body!r}")
+            for key, value in body.items():
+                if isinstance(value, float) and not math.isfinite(value):
+                    raise ValueError(
+                        f"metric {name!r} field {key!r} is non-finite "
+                        f"(zero-sample histograms must serialize 0/None)"
+                    )
 
 
 _PHASES_WITH_DUR = {"X"}
@@ -199,12 +255,17 @@ def validate_chrome_trace(trace: dict[str, t.Any]) -> int:
             if not isinstance(event.get(key), int):
                 raise ValueError(f"event {i} missing integer {key!r}")
         if ph != "M":
-            if not isinstance(event.get("ts"), (int, float)):
-                raise ValueError(f"event {i} missing numeric ts")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or not math.isfinite(ts):
+                raise ValueError(f"event {i} missing finite numeric ts")
             if not isinstance(event.get("name"), str) or not event["name"]:
                 raise ValueError(f"event {i} missing name")
         if ph in _PHASES_WITH_DUR:
             dur = event.get("dur")
-            if not isinstance(dur, (int, float)) or dur < 0:
+            if (
+                not isinstance(dur, (int, float))
+                or not math.isfinite(dur)
+                or dur < 0
+            ):
                 raise ValueError(f"event {i} has invalid dur {dur!r}")
     return len(events)

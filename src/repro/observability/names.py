@@ -43,13 +43,18 @@ __all__ = [
     "PS_PARAGRAPH_BYTES",
     "SERVING_ADMISSION_WAIT_S",
     "SERVING_ANSWERED",
+    "SERVING_DEADLINE_VIOLATIONS",
     "SERVING_DRAINED",
     "SERVING_LATENCY_S",
     "SERVING_QUEUE_DEPTH",
     "SERVING_SERVICE_S",
     "SERVING_SHED",
     "SERVING_SHED_PREFIX",
+    "SERVING_SLO_STATE",
+    "SERVING_SLO_TRANSITIONS",
     "SERVING_SUBMITTED",
+    "SERVING_TRACES_SAMPLED",
+    "SERVING_TRACE_SPANS",
     "STEM_CACHE_HITS",
     "STEM_CACHE_MISSES",
     "TASK_RETRIES",
@@ -134,3 +139,16 @@ SERVING_ADMISSION_WAIT_S = "serving.admission_wait_s"
 SERVING_LATENCY_S = "serving.latency_s"
 #: Pipeline execution time inside the worker (histogram, seconds).
 SERVING_SERVICE_S = "serving.service_s"
+
+# -- cross-process telemetry plane (PR 8) -------------------------------------
+#: Questions whose worker-side detail trace was head-sampled.
+SERVING_TRACES_SAMPLED = "serving.traces_sampled"
+#: Worker-produced spans grafted into the server's stitched trees.
+SERVING_TRACE_SPANS = "serving.trace_spans"
+#: Answered questions whose measured latency exceeded their sojourn
+#: budget (the admission deadline, enforced retrospectively).
+SERVING_DEADLINE_VIOLATIONS = "serving.deadline_violations"
+#: SLO monitor state transitions (counter) and current state (gauge:
+#: 0 = ok, 1 = warn, 2 = breach).
+SERVING_SLO_TRANSITIONS = "serving.slo.transitions"
+SERVING_SLO_STATE = "serving.slo.state"

@@ -1,0 +1,435 @@
+"""Cross-process telemetry: trace propagation, span stitching, sampling.
+
+The serving stack spans a front-end process plus N worker processes, so
+a question's span tree is born split: admission wait and micro-batch
+buffering happen in the server, QP/PR/PS/PO/AP happen in a worker whose
+``SpanStream`` dies with the process.  This module is the glue that
+makes one tree out of the pieces:
+
+* :class:`TraceContext` — the (trace id, parent span id) pair the
+  serving protocol carries on each request, as a tiny picklable tuple;
+* :class:`HeadSampler` — deterministic seed-keyed head sampling, decided
+  per submission *after* admission (a pure function of ``seed:seq``), so
+  enabling tracing can never perturb the accept/shed decision digest;
+* :func:`pack_spans` / :func:`graft_spans` — serialize a span subtree to
+  compact tuples (times relative to the subtree root, qid/node dropped)
+  and splice it back into another stream under a given parent, offset to
+  the stitching point — the server grafts each worker's subtree under
+  that question's ``service`` span, so the existing attribution fold
+  sums to end-to-end wall latency with no serving-specific code;
+* :func:`worker_span_records` — the worker-side subtree built from the
+  pipeline's measured :class:`~repro.qa.question.ModuleTimings`
+  (module spans clipped so they nest inside the measured service time,
+  keeping the attribution sum invariant by construction);
+* :class:`TelemetryWriter` / :func:`validate_telemetry_line` — the
+  ``telemetry.jsonl`` exporter (sample / SLO / metrics records) and its
+  schema validator, consumed by ``repro top`` and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import typing as t
+from dataclasses import dataclass
+
+from .spans import Span, SpanCategory, SpanStream
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from ..qa.question import ModuleTimings
+    from .metrics import MetricsRegistry
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "HeadSampler",
+    "TraceContext",
+    "TelemetryWriter",
+    "graft_spans",
+    "pack_spans",
+    "read_telemetry",
+    "validate_telemetry_file",
+    "validate_telemetry_line",
+    "worker_span_records",
+]
+
+TELEMETRY_SCHEMA = "telemetry/v1"
+
+#: One packed span: (sid, parent_sid, name, cat, t0_rel, t1_rel, detail,
+#: attrs-or-None).  Times are relative to the packed subtree's root t0;
+#: qid and node_id are omitted — the grafting side supplies both.
+PackedSpan = t.Tuple[
+    int, int, str, str, float, float, str, t.Optional[t.Dict[str, t.Any]]
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The trace identity one request carries across the process boundary."""
+
+    trace_id: str
+    #: sid of the span (in the *server's* stream) the worker subtree will
+    #: be stitched under — echoed back with the reply for bookkeeping.
+    parent_sid: int
+
+    def to_wire(self) -> tuple[str, int]:
+        return (self.trace_id, self.parent_sid)
+
+    @classmethod
+    def from_wire(cls, wire: tuple[str, int] | None) -> "TraceContext | None":
+        if wire is None:
+            return None
+        return cls(trace_id=wire[0], parent_sid=int(wire[1]))
+
+
+class HeadSampler:
+    """Deterministic head sampling keyed on ``seed:seq``.
+
+    The decision is a pure function of the sampler seed and the request's
+    submission sequence number — no RNG state, no wall clock — so two
+    runs of the same workload sample the same questions, and turning
+    sampling on cannot change anything else about the run (the admission
+    decision digest in particular).
+    """
+
+    __slots__ = ("rate", "seed")
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    def _hash64(self, seq: int) -> int:
+        digest = hashlib.sha256(f"{self.seed}:{seq}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def sample(self, seq: int) -> bool:
+        """True when request ``seq`` is head-sampled."""
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        return self._hash64(seq) / 2.0**64 < self.rate
+
+    def trace_id(self, seq: int) -> str:
+        """Stable, collision-resistant trace id for request ``seq``."""
+        return f"{self._hash64(seq):016x}-{seq:x}"
+
+
+# -- span subtree pack / graft -------------------------------------------------
+def pack_spans(stream: SpanStream, root: Span) -> tuple[PackedSpan, ...]:
+    """Serialize ``root``'s subtree into compact wire tuples.
+
+    Parents precede children (depth-first subtree order), times are
+    relative to ``root.t0``, and the root itself packs with parent -1.
+    """
+    t0 = root.t0
+    out: list[PackedSpan] = []
+    in_tree = {root.sid}
+    for span in stream.subtree(root):
+        parent = span.parent_id if span.parent_id in in_tree else -1
+        in_tree.add(span.sid)
+        out.append(
+            (
+                span.sid,
+                parent if span is not root else -1,
+                span.name,
+                span.cat,
+                span.t0 - t0,
+                span.t1 - t0,
+                span.detail,
+                dict(span.attrs) if span.attrs else None,
+            )
+        )
+    return tuple(out)
+
+
+def graft_spans(
+    stream: SpanStream,
+    packed: t.Sequence[PackedSpan],
+    parent: Span | None,
+    qid: int,
+    node_id: int,
+    t_offset: float,
+) -> int:
+    """Splice packed spans into ``stream`` under ``parent``.
+
+    Packed roots (parent -1) attach to ``parent``; every span lands at
+    ``t_offset + its relative time`` with the given qid/node identity.
+    Returns the number of spans actually recorded (0 when the stream is
+    disabled or at its bound).
+    """
+    if not stream.enabled:
+        return 0
+    sid_map: dict[int, Span] = {}
+    count = 0
+    for sid, psid, name, cat, rel_t0, rel_t1, detail, attrs in packed:
+        par = sid_map.get(psid, parent)
+        span = stream.begin(
+            name,
+            cat,
+            qid,
+            node_id,
+            t_offset + rel_t0,
+            parent=par,
+            detail=detail,
+        )
+        if span is None:
+            continue
+        span.t1 = t_offset + rel_t1
+        if attrs:
+            span.attrs.update(attrs)
+        sid_map[sid] = span
+        count += 1
+    return count
+
+
+def worker_span_records(
+    timings: "ModuleTimings",
+    service_s: float,
+    qid: int = 0,
+    node_id: int = 0,
+    batch: tuple[int, int, float, float] | None = None,
+) -> tuple[PackedSpan, ...]:
+    """The worker-side span subtree for one executed question.
+
+    A ``worker`` compute root spans the whole measured service time, with
+    the pipeline modules as sequential children; in batched execution the
+    PR phase is wrapped in a ``stage:PR-batch`` partition span carrying
+    the batch's sharing stats (the same shape the server used to
+    synthesize, now measured at the source).  Module durations are
+    clipped so the children always nest inside the root — the attribution
+    fold's sum-to-wall invariant holds for any timings.
+    """
+    service_s = max(0.0, service_s)
+    stream = SpanStream()
+    root = stream.begin(
+        "worker", SpanCategory.COMPUTE, qid, node_id, 0.0
+    )
+    assert root is not None
+    cursor = 0.0
+    for name, dur in (
+        ("qp", timings.qp),
+        ("pr", timings.pr),
+        ("ps", timings.ps),
+        ("po", timings.po),
+        ("ap", timings.ap),
+    ):
+        dur = min(max(0.0, dur), service_s - cursor)
+        if name == "pr" and batch is not None:
+            batch_size, n_distinct, sharing, amortized = batch
+            stage = stream.begin(
+                "stage:PR-batch",
+                SpanCategory.PARTITION,
+                qid,
+                node_id,
+                cursor,
+                parent=root,
+            )
+            pr_span = stream.begin(
+                "pr", SpanCategory.COMPUTE, qid, node_id, cursor, parent=stage
+            )
+            stream.end(pr_span, cursor + dur)
+            stream.end(
+                stage,
+                cursor + dur,
+                batch_size=batch_size,
+                n_distinct=n_distinct,
+                sharing_factor=sharing,
+                amortized_postings_scanned=amortized,
+            )
+        else:
+            span = stream.begin(
+                name, SpanCategory.COMPUTE, qid, node_id, cursor, parent=root
+            )
+            stream.end(span, cursor + dur)
+        cursor += dur
+    stream.end(root, service_s)
+    return pack_spans(stream, root)
+
+
+# -- telemetry.jsonl exporter --------------------------------------------------
+class TelemetryWriter:
+    """Streaming ``telemetry.jsonl`` writer (one JSON object per line).
+
+    Record types: ``header`` (schema + run metadata, always first),
+    ``sample`` (one per sampled or forced question outcome), ``slo`` (SLO
+    monitor state, emitted on transitions and at drain), ``metrics`` (the
+    aggregated registry, emitted at drain).  Every write flushes so
+    ``repro top --follow`` can tail the live file.
+    """
+
+    def __init__(
+        self, path: str | pathlib.Path, header: dict[str, t.Any] | None = None
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.records = 0
+        self._fh: t.IO[str] | None = self.path.open("w")
+        self._write({"record": "header", "schema": TELEMETRY_SCHEMA, **(header or {})})
+
+    def _write(self, obj: dict[str, t.Any]) -> None:
+        if self._fh is None:
+            raise RuntimeError("TelemetryWriter is closed")
+        self._fh.write(json.dumps(obj, allow_nan=False) + "\n")
+        self._fh.flush()
+        self.records += 1
+
+    def write_sample(
+        self,
+        *,
+        t_s: float,
+        seq: int,
+        qid: int,
+        outcome: str,
+        latency_s: float = 0.0,
+        wait_s: float = 0.0,
+        service_s: float = 0.0,
+        worker: int = 0,
+        sampled: bool = False,
+        forced: bool = False,
+        reason: str | None = None,
+    ) -> None:
+        """One question outcome (head-sampled, or force-sampled on
+        shed/deadline-breach/slow-outlier)."""
+        rec: dict[str, t.Any] = {
+            "record": "sample",
+            "t": t_s,
+            "seq": seq,
+            "qid": qid,
+            "outcome": outcome,
+            "latency_s": latency_s,
+            "wait_s": wait_s,
+            "service_s": service_s,
+            "worker": worker,
+            "sampled": sampled,
+            "forced": forced,
+        }
+        if reason is not None:
+            rec["reason"] = reason
+        self._write(rec)
+
+    def write_slo(self, report: dict[str, t.Any]) -> None:
+        """One SLO monitor evaluation (``SLOReport.to_dict()``)."""
+        self._write({"record": "slo", **report})
+
+    def write_metrics(self, metrics: "MetricsRegistry") -> None:
+        """The final aggregated metrics registry."""
+        self._write({"record": "metrics", "metrics": metrics.to_dict()})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc: t.Any) -> None:
+        self.close()
+
+
+# -- schema validation ---------------------------------------------------------
+_OUTCOMES = {"answered", "shed", "drained"}
+_SLO_STATES = {"ok", "warn", "breach"}
+_SAMPLE_REQUIRED: dict[str, type | tuple[type, ...]] = {
+    "t": (int, float),
+    "seq": int,
+    "qid": int,
+    "outcome": str,
+    "latency_s": (int, float),
+    "wait_s": (int, float),
+    "service_s": (int, float),
+    "worker": int,
+    "sampled": bool,
+    "forced": bool,
+}
+_SLO_REQUIRED: dict[str, type | tuple[type, ...]] = {
+    "t": (int, float),
+    "state": str,
+    "n_answered": int,
+    "n_shed": int,
+    "shed_rate": (int, float),
+    "p50_s": (int, float),
+    "p95_s": (int, float),
+    "p99_s": (int, float),
+    "deadline_violations": int,
+    "transition": bool,
+}
+
+
+def validate_telemetry_line(obj: dict[str, t.Any]) -> None:
+    """Validate one parsed telemetry record; raises ValueError on violation."""
+    record = obj.get("record")
+    if record == "header":
+        if obj.get("schema") != TELEMETRY_SCHEMA:
+            raise ValueError(f"unknown telemetry schema {obj.get('schema')!r}")
+        return
+    if record == "sample":
+        for key, types in _SAMPLE_REQUIRED.items():
+            if key not in obj:
+                raise ValueError(f"sample record missing {key!r}: {obj}")
+            if not isinstance(obj[key], types):  # type: ignore[arg-type]
+                raise ValueError(
+                    f"sample field {key!r} has wrong type: {obj[key]!r}"
+                )
+        if obj["outcome"] not in _OUTCOMES:
+            raise ValueError(f"unknown outcome {obj['outcome']!r}")
+        for key in ("latency_s", "wait_s", "service_s"):
+            if obj[key] < 0:
+                raise ValueError(f"sample field {key!r} is negative: {obj}")
+        if not (obj["sampled"] or obj["forced"]):
+            raise ValueError(f"sample record neither sampled nor forced: {obj}")
+        return
+    if record == "slo":
+        for key, types in _SLO_REQUIRED.items():
+            if key not in obj:
+                raise ValueError(f"slo record missing {key!r}: {obj}")
+            if not isinstance(obj[key], types):  # type: ignore[arg-type]
+                raise ValueError(
+                    f"slo field {key!r} has wrong type: {obj[key]!r}"
+                )
+        if obj["state"] not in _SLO_STATES:
+            raise ValueError(f"unknown SLO state {obj['state']!r}")
+        if not 0.0 <= obj["shed_rate"] <= 1.0:
+            raise ValueError(f"shed_rate out of [0, 1]: {obj['shed_rate']!r}")
+        return
+    if record == "metrics":
+        metrics = obj.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError("metrics record missing 'metrics' mapping")
+        for name, body in metrics.items():
+            if body.get("type") not in {"counter", "gauge", "histogram"}:
+                raise ValueError(f"metric {name!r} has bad type: {body!r}")
+        return
+    raise ValueError(f"unknown telemetry record type {record!r}")
+
+
+def read_telemetry(path: str | pathlib.Path) -> list[dict[str, t.Any]]:
+    """Parse a telemetry.jsonl file (no validation; see validate_*)."""
+    out: list[dict[str, t.Any]] = []
+    with pathlib.Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def validate_telemetry_file(path: str | pathlib.Path) -> int:
+    """Validate every record in a telemetry.jsonl file; returns the count.
+
+    The first line must be a valid header; an empty file is invalid (a
+    writer that opened the file always wrote its header).
+    """
+    records = read_telemetry(path)
+    if not records:
+        raise ValueError(f"{path}: empty telemetry file (missing header)")
+    if records[0].get("record") != "header":
+        raise ValueError(f"{path}: first record is not a header")
+    for i, obj in enumerate(records):
+        try:
+            validate_telemetry_line(obj)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{i + 1}: {exc}") from exc
+    return len(records)

@@ -11,12 +11,16 @@ overload protocol as the simulated cluster:
 * :mod:`repro.serving.workers` — worker processes attaching to the
   shared v2 packed-index artifact (zero rebuild per process);
 * :mod:`repro.serving.server` — the :class:`QAServer` lifecycle with
-  conservation accounting, metrics, and span trees;
+  conservation accounting, metrics, stitched cross-process span trees,
+  and the telemetry plane (head sampling, ``telemetry.jsonl``);
+* :mod:`repro.serving.slo` — the rolling-window SLO monitor
+  (OK/WARN/BREACH) and the ``repro top`` text dashboard;
 * :mod:`repro.serving.loadgen` — the Section 6.1-style seeded workload
   driver (``python -m repro loadgen``), emitting ``BENCH_serving.json``.
 
-CLI: ``python -m repro serve`` (interactive stdin server) and
-``python -m repro loadgen`` (offered-load sweep).
+CLI: ``python -m repro serve`` (interactive stdin server),
+``python -m repro loadgen`` (offered-load sweep), and
+``python -m repro top`` (dashboard over a telemetry file).
 """
 
 from .admission import (
@@ -42,6 +46,7 @@ from .protocol import (
     ShedReason,
 )
 from .server import QAServer, ServerConfig
+from .slo import SLOConfig, SLOMonitor, SLOReport, SLOState, format_top, run_top
 from .workers import ExecutionResult, InlineExecutor, ProcessWorkerPool
 
 __all__ = [
@@ -56,13 +61,19 @@ __all__ = [
     "OverloadError",
     "ProcessWorkerPool",
     "QAServer",
+    "SLOConfig",
+    "SLOMonitor",
+    "SLOReport",
+    "SLOState",
     "ServeRequest",
     "ServeResponse",
     "ServerConfig",
     "ShedReason",
     "TokenBucket",
     "format_serving",
+    "format_top",
     "run_loadgen",
+    "run_top",
     "validate_bench_serving",
     "write_serving_json",
     "zipf_workload",

@@ -45,6 +45,7 @@ from ..workload.arrivals import poisson_arrivals
 from ..workload.metrics import summarize_samples
 from .admission import AdmissionConfig
 from .server import QAServer, ServerConfig
+from .slo import SLOConfig
 from .workers import InlineExecutor, ProcessWorkerPool
 
 __all__ = [
@@ -100,6 +101,20 @@ class LoadgenConfig:
     batch_max: int = 1
     #: Oldest-request age that forces a partial micro-batch flush.
     batch_wait_s: float = 0.005
+    #: Head-sampling rate for stitched worker traces (PR 8).  Sampling
+    #: is decided after admission from ``(trace_seed, seq)`` alone, so
+    #: the decision digest is byte-identical at any rate.
+    trace_sample_rate: float = 0.0
+    trace_seed: int = 0
+    #: When set, each run streams ``telemetry/v1`` records to
+    #: ``<stem>-<label><suffix>`` next to this path.
+    telemetry_out: str | None = None
+    #: When set, the at-saturation run's stitched span stream is written
+    #: here as a Chrome trace with stable per-process lanes.
+    trace_out: str | None = None
+    #: Re-run the at-saturation point with all observability disabled
+    #: and report the throughput overhead (acceptance line: <= 5%).
+    measure_overhead: bool = False
 
     def admission(self, est_service_s: float) -> AdmissionConfig:
         """The admission config this sweep drives, at a given estimate."""
@@ -208,6 +223,12 @@ def _calibrate(
     }
 
 
+def _telemetry_run_path(base: str, label: str) -> str:
+    """Per-run telemetry file: ``<stem>-<label><suffix>`` next to base."""
+    p = pathlib.Path(base)
+    return str(p.with_name(f"{p.stem}-{label}{p.suffix or '.jsonl'}"))
+
+
 def _run_once(
     config: LoadgenConfig,
     workload: t.Sequence[tuple[int, str]],
@@ -215,18 +236,40 @@ def _run_once(
     est_service_s: float,
     label: str,
     load_factor: float | None,
+    observability: bool = True,
+    trace_path: str | None = None,
 ) -> dict[str, t.Any]:
-    """One open-loop serving run at a fixed offered rate."""
+    """One open-loop serving run at a fixed offered rate.
+
+    ``observability=False`` turns metrics, spans, sampling, SLO and
+    telemetry off in one switch — the overhead-measurement rerun.
+    """
     schedule = poisson_arrivals(
         len(workload), rate_qps, seed=config.workload_seed
     )
+    admission = config.admission(est_service_s)
+    telemetry_path: str | None = None
+    if observability and config.telemetry_out:
+        telemetry_path = _telemetry_run_path(config.telemetry_out, label)
     server_config = ServerConfig(
         corpus=config.corpus,
-        admission=config.admission(est_service_s),
+        admission=admission,
         workers=config.workers,
         drain_timeout_s=config.drain_timeout_s,
         batch_max=config.batch_max,
         batch_wait_s=config.batch_wait_s,
+        metrics_enabled=observability,
+        spans_enabled=observability,
+        trace_sample_rate=config.trace_sample_rate if observability else 0.0,
+        trace_seed=config.trace_seed,
+        # The SLO latency objective mirrors the admission deadline: the
+        # server judges retrospectively what admission promised.
+        slo=(
+            SLOConfig(p99_target_s=admission.effective_deadline_s)
+            if observability and (config.trace_sample_rate > 0 or telemetry_path)
+            else None
+        ),
+        telemetry_path=telemetry_path,
     )
     server = QAServer(server_config)
     with server:
@@ -288,6 +331,27 @@ def _run_once(
             run["batch"]["amortized_postings_scanned_mean"] = sum(
                 s.attrs["amortized_postings_scanned"] for s in batch_spans
             ) / len(batch_spans)
+        # Stitched-trace sampling accounting (telemetry plane, PR 8).
+        run["sampling"] = {
+            "rate": config.trace_sample_rate if observability else 0.0,
+            "sampled_answered": sum(1 for r in answered if r.sampled),
+            "stitched_trees": sum(
+                1 for s in server.spans.spans if s.name == "worker"
+            ),
+        }
+        if server.slo is not None:
+            run["slo"] = {
+                "state": server.slo.state.value,
+                "transitions": len(server.slo.transitions),
+            }
+        if server.telemetry is not None:
+            run["telemetry"] = {
+                "path": telemetry_path,
+                "records": server.telemetry.records,
+            }
+        if observability and trace_path:
+            server.export_trace(trace_path)
+            run["trace_out"] = trace_path
         if config.record_decisions:
             run["decisions"] = [list(k) for k in decision_key]
         return run
@@ -386,9 +450,15 @@ def run_loadgen(config: LoadgenConfig | None = None) -> dict[str, t.Any]:
                 est_service_s,
                 label=f"{config.rate_qps:g}qps",
                 load_factor=None,
+                trace_path=config.trace_out,
             )
         )
     else:
+        # The stitched Chrome trace is exported from the run closest to
+        # saturation — the point the paper's timelines are drawn at.
+        trace_factor = min(
+            config.load_factors, key=lambda f: abs(f - 1.0), default=None
+        )
         for factor in config.load_factors:
             runs.append(
                 _run_once(
@@ -398,14 +468,52 @@ def run_loadgen(config: LoadgenConfig | None = None) -> dict[str, t.Any]:
                     est_service_s,
                     label=f"{factor:g}x",
                     load_factor=factor,
+                    trace_path=(
+                        config.trace_out if factor == trace_factor else None
+                    ),
                 )
             )
 
     overload = _overload_check(
         runs, service_floor_s=calibration.get("service_mean_s", est_service_s)
     )
+
+    # Observability overhead: re-run the at-saturation point with every
+    # recorder off and compare sustained throughput.  The admission
+    # digest must not move — sampling is decided after admission.
+    overhead: dict[str, t.Any] = {"skipped": True}
+    if config.measure_overhead and runs:
+        factored = [r for r in runs if r["load_factor"] is not None]
+        on = (
+            min(factored, key=lambda r: abs(r["load_factor"] - 1.0))
+            if factored
+            else runs[0]
+        )
+        off = _run_once(
+            config,
+            workload,
+            on["offered_qps"],
+            est_service_s,
+            label=f"{on['label']}-obs-off",
+            load_factor=on["load_factor"],
+            observability=False,
+        )
+        qps_on = on["throughput_qps"]
+        qps_off = off["throughput_qps"]
+        frac = (qps_off - qps_on) / qps_off if qps_off > 0 else 0.0
+        overhead = {
+            "skipped": False,
+            "run": on["label"],
+            "qps_on": qps_on,
+            "qps_off": qps_off,
+            "overhead_frac": frac,
+            "digest_match": on["decision_digest"] == off["decision_digest"],
+            "ok": frac <= 0.05
+            and on["decision_digest"] == off["decision_digest"],
+        }
+
     return {
-        "schema": "bench_serving/v2",
+        "schema": "bench_serving/v3",
         "config": asdict(config),
         "batch": {
             "batch_max": config.batch_max,
@@ -417,10 +525,23 @@ def run_loadgen(config: LoadgenConfig | None = None) -> dict[str, t.Any]:
             "zipf_exponent": config.zipf_exponent,
             "seed": config.workload_seed,
         },
+        "telemetry": {
+            "trace_sample_rate": config.trace_sample_rate,
+            "trace_seed": config.trace_seed,
+            "telemetry_out": config.telemetry_out,
+            "trace_out": config.trace_out,
+            "sampled_answered": sum(
+                r["sampling"]["sampled_answered"] for r in runs
+            ),
+            "stitched_trees": sum(
+                r["sampling"]["stitched_trees"] for r in runs
+            ),
+        },
         "calibration": calibration,
         "saturation_qps": saturation_qps,
         "runs": runs,
         "overload": overload,
+        "observability_overhead": overhead,
         "ok": overload.get("ok", False) and all(
             r["conservation_ok"] for r in runs
         ),
@@ -473,6 +594,21 @@ def format_serving(summary: dict[str, t.Any]) -> str:
             f"request (flush at {bat.get('batch_wait_s', 0.0) * 1e3:.1f} ms)"
             f"{mean_txt}"
         )
+    tel = summary.get("telemetry") or {}
+    if tel.get("trace_sample_rate"):
+        lines.append(
+            f"telemetry: head-sampling {tel['trace_sample_rate']:.0%} "
+            f"(seed {tel.get('trace_seed', 0)}), "
+            f"{tel.get('stitched_trees', 0)} stitched traces"
+        )
+    oh = summary.get("observability_overhead") or {}
+    if oh and not oh.get("skipped"):
+        lines.append(
+            f"observability overhead at {oh['run']}: "
+            f"{oh['overhead_frac']:+.1%} q/s "
+            f"({'ok' if oh['ok'] else 'OVER BUDGET'}; digest "
+            f"{'unchanged' if oh['digest_match'] else 'MOVED'})"
+        )
     over = summary["overload"]
     if "p99_ratio" in over:
         lines.append(
@@ -495,18 +631,39 @@ def format_serving(summary: dict[str, t.Any]) -> str:
 def validate_bench_serving(summary: dict[str, t.Any]) -> None:
     """Schema check for ``BENCH_serving.json`` — raises on drift.
 
-    v2 adds the micro-batch block (top-level ``batch`` plus a per-run
+    v2 added the micro-batch block (top-level ``batch`` plus a per-run
     ``batch`` record carrying the sharing stats from the
-    ``stage:PR-batch`` spans).
+    ``stage:PR-batch`` spans); v3 adds the telemetry plane: a top-level
+    ``telemetry`` block, the ``observability_overhead`` measurement
+    (or its explicit ``skipped`` marker), and per-run ``sampling``
+    accounting.
     """
-    if summary.get("schema") != "bench_serving/v2":
+    if summary.get("schema") != "bench_serving/v3":
         raise ValueError(f"unexpected schema: {summary.get('schema')!r}")
-    for key in ("config", "workload", "calibration", "runs", "overload", "ok"):
+    for key in (
+        "config",
+        "workload",
+        "calibration",
+        "runs",
+        "overload",
+        "observability_overhead",
+        "ok",
+    ):
         if key not in summary:
             raise ValueError(f"missing top-level key: {key}")
     batch = summary.get("batch")
     if not isinstance(batch, dict) or "batch_max" not in batch:
-        raise ValueError("v2 summary must carry a 'batch' block")
+        raise ValueError("summary must carry a 'batch' block")
+    telemetry = summary.get("telemetry")
+    if not isinstance(telemetry, dict) or "trace_sample_rate" not in telemetry:
+        raise ValueError("v3 summary must carry a 'telemetry' block")
+    overhead = summary["observability_overhead"]
+    if not isinstance(overhead, dict) or (
+        not overhead.get("skipped") and "overhead_frac" not in overhead
+    ):
+        raise ValueError(
+            "observability_overhead must be measured or marked skipped"
+        )
     for i, run in enumerate(summary["runs"]):
         for key in (
             "label",
@@ -516,6 +673,7 @@ def validate_bench_serving(summary: dict[str, t.Any]) -> None:
             "decision_digest",
             "conservation_ok",
             "batch",
+            "sampling",
         ):
             if key not in run:
                 raise ValueError(f"runs[{i}] missing {key}")

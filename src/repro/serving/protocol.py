@@ -123,6 +123,12 @@ class ServeResponse:
     service_s: float = 0.0
     #: Pid of the worker that answered (0 for inline execution).
     worker_pid: int = 0
+    #: True when this question's worker-side trace was head-sampled and
+    #: its span subtree stitched into the server's stream.
+    sampled: bool = False
+    #: True when the measured latency exceeded the question's sojourn
+    #: budget (the admission deadline, judged retrospectively).
+    deadline_violated: bool = False
 
     @property
     def answered(self) -> bool:

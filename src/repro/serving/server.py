@@ -10,12 +10,28 @@ ways at once:
 * a :class:`~repro.serving.protocol.ConservationLedger` proving
   ``answered + shed + drained == submitted`` exactly;
 * the shared :class:`~repro.observability.metrics.MetricsRegistry`
-  under the canonical ``serving.*`` names;
+  under the canonical ``serving.*`` names — plus, at drain, an
+  **aggregated** registry merging each worker's piggybacked snapshot
+  (counters sum across processes, gauges stay labeled per worker);
 * a :class:`~repro.observability.spans.SpanStream` span tree per
   answered question (``serve`` root, ``admission`` queue child,
   ``service`` compute child) plus an instant event per shed, so the
   existing attribution pass can fold admission wait into its
   ``queueing`` bucket with no serving-specific code.
+
+The telemetry plane (PR 8) extends the span story across the process
+boundary: when a question is **head-sampled** (a deterministic function
+of ``trace_seed`` and the submission sequence number, decided *after*
+admission so the accept/shed digest is unchanged), the request carries
+a trace context to the worker, the worker returns its measured
+module-level span subtree with the reply, and the server grafts that
+subtree under the question's ``service`` span — one stitched tree per
+question, crossing server and worker, whose attribution fold still sums
+exactly to the end-to-end wall latency.  A rolling-window
+:class:`~repro.serving.slo.SLOMonitor` watches completions, and an
+optional :class:`~repro.observability.telemetry.TelemetryWriter`
+streams sampled/forced per-question records plus SLO transitions to a
+``telemetry.jsonl`` file.
 
 Lifecycle: ``start() -> submit()* / poll()* -> drain() -> stop()``.
 ``drain`` is graceful: admission flips to shedding ``DRAINING``,
@@ -35,15 +51,21 @@ from ..observability.metrics import MetricsRegistry
 from ..observability.names import (
     SERVING_ADMISSION_WAIT_S,
     SERVING_ANSWERED,
+    SERVING_DEADLINE_VIOLATIONS,
     SERVING_DRAINED,
     SERVING_LATENCY_S,
     SERVING_QUEUE_DEPTH,
     SERVING_SERVICE_S,
     SERVING_SHED,
     SERVING_SHED_PREFIX,
+    SERVING_SLO_STATE,
+    SERVING_SLO_TRANSITIONS,
     SERVING_SUBMITTED,
+    SERVING_TRACES_SAMPLED,
+    SERVING_TRACE_SPANS,
 )
-from ..observability.spans import SpanCategory, SpanStream
+from ..observability.spans import Span, SpanCategory, SpanStream
+from ..observability.telemetry import HeadSampler, TelemetryWriter, graft_spans
 from .admission import AdmissionConfig, AdmissionController, AdmissionDecision
 from .protocol import (
     ConservationLedger,
@@ -52,9 +74,13 @@ from .protocol import (
     ServeResponse,
     ShedReason,
 )
+from .slo import SLOConfig, SLOMonitor
 from .workers import ExecutionResult, InlineExecutor, ProcessWorkerPool
 
 __all__ = ["QAServer", "ServerConfig"]
+
+#: SLO states as gauge values (see ``SERVING_SLO_STATE``).
+_SLO_STATE_VALUE = {"ok": 0.0, "warn": 1.0, "breach": 2.0}
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +105,20 @@ class ServerConfig:
     #: Observability switches (spans cost memory on long runs).
     metrics_enabled: bool = True
     spans_enabled: bool = True
+    #: Head-sampling rate for worker-side detail traces in [0, 1].
+    #: Sampling is a pure function of ``(trace_seed, seq)`` evaluated
+    #: *after* the admission decision, so enabling it cannot perturb
+    #: the accept/shed sequence or its digest.  0 disables stitching.
+    trace_sample_rate: float = 0.0
+    trace_seed: int = 0
+    #: Rolling-window SLO thresholds; ``None`` uses :class:`SLOConfig`
+    #: defaults when a monitor is needed (telemetry enabled) and skips
+    #: the monitor entirely otherwise.
+    slo: SLOConfig | None = None
+    #: When set, stream ``telemetry/v1`` JSONL records here.
+    telemetry_path: str | None = None
+    #: Completions between piggybacked worker metrics snapshots.
+    metrics_snapshot_every: int = 16
 
 
 @dataclass(slots=True)
@@ -87,6 +127,17 @@ class _Pending:
 
     qid: int
     submit_wall: float
+    #: Logical arrival timestamp (drives the SLO monitor's clock).
+    arrival_s: float = 0.0
+    #: Sojourn budget the admission deadline implies, judged
+    #: retrospectively at completion.
+    deadline_budget_s: float = 0.0
+    #: Whether this question's worker-side trace was head-sampled.
+    sampled: bool = False
+    trace_id: str = ""
+    #: Pre-opened spans, ended at completion (or at drain).
+    root: Span | None = None
+    admission_span: Span | None = None
 
 
 class QAServer:
@@ -102,17 +153,41 @@ class QAServer:
         self.ledger = ConservationLedger()
         self.metrics = MetricsRegistry(enabled=self.config.metrics_enabled)
         self.spans = SpanStream(enabled=self.config.spans_enabled)
+        self.sampler = HeadSampler(
+            self.config.trace_sample_rate, seed=self.config.trace_seed
+        )
+        #: Created when SLO thresholds or a telemetry sink are configured.
+        self.slo: SLOMonitor | None = None
+        if self.config.slo is not None or self.config.telemetry_path:
+            self.slo = SLOMonitor(self.config.slo or SLOConfig())
+        self.telemetry: TelemetryWriter | None = None
+        if self.config.telemetry_path:
+            self.telemetry = TelemetryWriter(
+                self.config.telemetry_path,
+                header={
+                    "workers": self.config.workers,
+                    "trace_sample_rate": self.config.trace_sample_rate,
+                    "trace_seed": self.config.trace_seed,
+                },
+            )
         self.responses: list[ServeResponse] = []
+        #: Latest logical timestamp fed to the SLO monitor (drain reuses it).
+        self._slo_last_t = 0.0
         self._pending: dict[int, _Pending] = {}
-        #: Accepted-but-unsent requests awaiting a micro-batch flush.
-        self._batch_buf: list[tuple[int, int, str, float]] = []
+        #: Accepted-but-unsent requests awaiting a micro-batch flush;
+        #: entries are ``(seq, qid, text, submit_wall, trace-or-None)``.
+        self._batch_buf: list[tuple[t.Any, ...]] = []
         self._next_seq = 0
         self._started = False
         self._drained = False
         if pool is not None:
             self.pool = pool
         elif self.config.workers >= 1:
-            self.pool = ProcessWorkerPool(self.config.corpus, self.config.workers)
+            self.pool = ProcessWorkerPool(
+                self.config.corpus,
+                self.config.workers,
+                snapshot_every=self.config.metrics_snapshot_every,
+            )
         else:
             self.pool = None  # built lazily in start() (needs a pipeline)
 
@@ -168,15 +243,49 @@ class QAServer:
             seq, qid, arrival_s, client=client, deadline_s=deadline_s
         )
         if decision.accepted:
-            self._pending[seq] = _Pending(qid=qid, submit_wall=submit_wall)
+            # Head-sampling is decided only now, from (seed, seq) — the
+            # admission decision above is already sealed, so the digest
+            # is byte-identical with sampling on or off.
+            sampled = self.sampler.sample(seq)
+            budget = (
+                deadline_s - arrival_s
+                if deadline_s is not None
+                else self.config.admission.effective_deadline_s
+            )
+            pending = _Pending(
+                qid=qid,
+                submit_wall=submit_wall,
+                arrival_s=arrival_s,
+                deadline_budget_s=max(0.0, budget),
+                sampled=sampled,
+            )
+            trace: tuple[str, int] | None = None
+            if self.spans.enabled:
+                # Pre-open the stitched tree's server-side spans; the
+                # completion (or drain) path ends them, so even drained
+                # questions leave a root whose fold sums to their wall.
+                pending.root = self.spans.begin(
+                    "serve", SpanCategory.TASK, qid, node_id=-1, time=submit_wall
+                )
+                pending.admission_span = self.spans.begin(
+                    "admission", SpanCategory.QUEUE, qid, node_id=-1,
+                    time=submit_wall, parent=pending.root,
+                )
+                if sampled and pending.root is not None:
+                    pending.trace_id = self.sampler.trace_id(seq)
+                    trace = (pending.trace_id, pending.root.sid)
+                    self.metrics.inc(SERVING_TRACES_SAMPLED)
+            self._pending[seq] = pending
             if self.metrics.enabled:
                 self.metrics.gauge(SERVING_QUEUE_DEPTH).set(
                     float(len(self._pending))
                 )
             if self._batching:
-                self._batch_buf.append((seq, qid, text, submit_wall))
+                self._batch_buf.append((seq, qid, text, submit_wall, trace))
                 if len(self._batch_buf) >= self.config.batch_max:
                     self._flush_batch()
+            elif trace is not None:
+                self.pool.submit(seq, qid, text, submit_wall, trace)
             else:
                 self.pool.submit(seq, qid, text, submit_wall)
         else:
@@ -195,6 +304,16 @@ class QAServer:
                     shed_reason=reason,
                 )
             )
+            if self.slo is not None:
+                self.slo.record_shed(arrival_s, reason=reason.value)
+                self._emit_slo(arrival_s)
+            if self.telemetry is not None:
+                # Sheds are always forced into the telemetry stream —
+                # they are exactly the events an operator pages on.
+                self.telemetry.write_sample(
+                    t_s=arrival_s, seq=seq, qid=qid, outcome="shed",
+                    worker=-1, forced=True, reason=f"shed:{reason.value}",
+                )
             if raise_on_shed:
                 raise OverloadError(
                     reason,
@@ -230,6 +349,11 @@ class QAServer:
             return
         end_wall = time.time()
         latency = max(0.0, end_wall - pending.submit_wall)
+        violated = (
+            pending.deadline_budget_s > 0
+            and latency > pending.deadline_budget_s
+        )
+        stitched = res.spans is not None and pending.sampled
         response = ServeResponse(
             seq=res.seq,
             qid=res.qid,
@@ -239,6 +363,8 @@ class QAServer:
             admission_wait_s=res.wait_s,
             service_s=res.service_s,
             worker_pid=res.worker_pid,
+            sampled=stitched,
+            deadline_violated=violated,
         )
         self.responses.append(response)
         self.ledger.record(Outcome.ANSWERED)
@@ -246,30 +372,39 @@ class QAServer:
         self.metrics.observe(SERVING_LATENCY_S, latency)
         self.metrics.observe(SERVING_ADMISSION_WAIT_S, res.wait_s)
         self.metrics.observe(SERVING_SERVICE_S, res.service_s)
+        if violated:
+            self.metrics.inc(SERVING_DEADLINE_VIOLATIONS)
         if self.metrics.enabled:
             self.metrics.gauge(SERVING_QUEUE_DEPTH).set(
                 float(len(self._pending))
             )
-        if self.spans.enabled:
+        if self.spans.enabled and pending.root is not None:
+            root = pending.root
+            root.node_id = res.worker_pid
             t0 = pending.submit_wall
-            root = self.spans.begin(
-                "serve", SpanCategory.TASK, res.qid, node_id=res.worker_pid, time=t0
-            )
             wait_end = t0 + res.wait_s
-            admission = self.spans.begin(
-                "admission", SpanCategory.QUEUE, res.qid, node_id=-1, time=t0,
-                parent=root,
-            )
-            self.spans.end(admission, wait_end)
+            if pending.admission_span is not None:
+                self.spans.end(pending.admission_span, wait_end)
             service = self.spans.begin(
                 "service", SpanCategory.COMPUTE, res.qid,
                 node_id=res.worker_pid, time=wait_end, parent=root,
             )
-            if res.batch is not None:
-                # Batched execution: surface the amortized PR phase as a
-                # stage:PR-batch child so the attribution fold sees the
-                # sharing (critical-path compute == pr, so the categories
-                # still sum exactly to the question wall).
+            if stitched and service is not None:
+                # Graft the worker's measured subtree under ``service``:
+                # the stitched tree crosses the process boundary, and
+                # because the worker root spans exactly ``service_s``
+                # the attribution fold still sums to the question wall.
+                _trace_id, _parent_sid, packed = res.spans
+                grafted = graft_spans(
+                    self.spans, packed, service,
+                    qid=res.qid, node_id=res.worker_pid, t_offset=wait_end,
+                )
+                self.metrics.inc(SERVING_TRACE_SPANS, grafted)
+            elif res.batch is not None:
+                # Batched execution without a worker trace: synthesize
+                # the amortized PR phase as a stage:PR-batch child so
+                # the attribution fold sees the sharing (critical-path
+                # compute == pr, so the categories still sum exactly).
                 batch_size, n_distinct, sharing, amortized = res.batch
                 pr_s = min(max(0.0, res.pr_s), res.service_s)
                 stage = self.spans.begin(
@@ -290,7 +425,53 @@ class QAServer:
                     amortized_postings_scanned=amortized,
                 )
             self.spans.end(service, wait_end + res.service_s)
-            self.spans.end(root, max(end_wall, wait_end + res.service_s))
+            attrs: dict[str, t.Any] = {"outcome": "answered"}
+            if pending.trace_id:
+                attrs["trace_id"] = pending.trace_id
+            self.spans.end(
+                root, max(end_wall, wait_end + res.service_s), **attrs
+            )
+        t_logical = pending.arrival_s + latency
+        if self.slo is not None:
+            self.slo.record_answered(
+                t_logical, latency, service_s=res.service_s,
+                worker_pid=res.worker_pid, deadline_violated=violated,
+            )
+            self._emit_slo(t_logical)
+        if self.telemetry is not None:
+            slow = (
+                self.slo is not None
+                and latency > self.slo.config.p99_target_s
+            )
+            forced = violated or slow
+            if stitched or pending.sampled or forced:
+                reason = None
+                if violated:
+                    reason = "deadline_violated"
+                elif slow:
+                    reason = "slow_outlier"
+                self.telemetry.write_sample(
+                    t_s=t_logical, seq=res.seq, qid=res.qid,
+                    outcome="answered", latency_s=latency,
+                    wait_s=res.wait_s, service_s=res.service_s,
+                    worker=res.worker_pid,
+                    sampled=pending.sampled, forced=forced, reason=reason,
+                )
+
+    def _emit_slo(self, t_s: float) -> None:
+        """Evaluate the SLO monitor and export any state transition."""
+        if self.slo is None:
+            return
+        self._slo_last_t = max(self._slo_last_t, t_s)
+        report = self.slo.evaluate(t_s)
+        if self.metrics.enabled:
+            self.metrics.gauge(SERVING_SLO_STATE).set(
+                _SLO_STATE_VALUE[report.state.value]
+            )
+        if report.transition:
+            self.metrics.inc(SERVING_SLO_TRANSITIONS)
+            if self.telemetry is not None:
+                self.telemetry.write_slo(report.to_dict())
 
     def poll(self) -> int:
         """Fold any finished questions into the ledger; returns the count."""
@@ -316,17 +497,44 @@ class QAServer:
         if self._started:
             for res in self.pool.drain(timeout):
                 self._complete(res)
+        drain_wall = time.time()
         for seq in sorted(self._pending):
             pending = self._pending.pop(seq)
             self.ledger.record(Outcome.DRAINED)
             self.metrics.inc(SERVING_DRAINED)
+            if pending.root is not None:
+                # End the pre-opened tree at the drain instant: the
+                # whole sojourn was queueing, and the fold still sums
+                # exactly to the question's wall.
+                if pending.admission_span is not None:
+                    self.spans.end(pending.admission_span, drain_wall)
+                self.spans.end(pending.root, drain_wall, outcome="drained")
             self.responses.append(
                 ServeResponse(
                     seq=seq, qid=pending.qid, outcome=Outcome.DRAINED
                 )
             )
+            if self.telemetry is not None:
+                self.telemetry.write_sample(
+                    t_s=pending.arrival_s,
+                    seq=seq,
+                    qid=pending.qid,
+                    outcome="drained",
+                    latency_s=max(0.0, drain_wall - pending.submit_wall),
+                    worker=-1,
+                    sampled=pending.sampled,
+                    forced=True,
+                    reason="drained",
+                )
         if self.metrics.enabled:
             self.metrics.gauge(SERVING_QUEUE_DEPTH).set(0.0)
+        if self.telemetry is not None:
+            if self.slo is not None:
+                self.telemetry.write_slo(
+                    self.slo.evaluate(self._slo_last_t).to_dict()
+                )
+            self.telemetry.write_metrics(self.aggregated_metrics())
+            self.telemetry.close()
         self._drained = True
         return self.ledger
 
@@ -337,6 +545,34 @@ class QAServer:
         self._started = False
 
     # -- reporting ---------------------------------------------------------------
+    def aggregated_metrics(self) -> MetricsRegistry:
+        """Server registry merged with every worker's latest snapshot.
+
+        Counters sum across processes; gauges keep one labeled value
+        per worker (``name{worker=<pid>}``); histograms merge with
+        deterministic decimation.  Worker snapshots arrive piggybacked
+        on the response queue, newest-wins per pid (they're cumulative).
+        """
+        agg = MetricsRegistry()
+        if self.metrics.enabled and len(self.metrics):
+            agg.merge_snapshot(self.metrics.snapshot())
+        snaps = getattr(self.pool, "worker_snapshots", None) or {}
+        for pid in sorted(snaps):
+            agg.merge_snapshot(snaps[pid], label=f"worker={pid}")
+        return agg
+
+    def export_trace(self, path: str) -> None:
+        """Write the stitched span stream as a Chrome ``trace_event`` file.
+
+        Uses stable pid lanes: the server's ``node_id=-1`` becomes pid 0
+        ("server") and each worker OS pid gets its own contiguous lane.
+        """
+        from ..observability.exporters import write_chrome_trace
+
+        write_chrome_trace(
+            self.spans, path, label="repro serve", stable_pids=True
+        )
+
     def attribution_summary(self) -> dict[str, float]:
         """Mean per-question attribution over the answered span trees.
 

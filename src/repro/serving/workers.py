@@ -15,13 +15,22 @@ Two interchangeable executors sit behind
 
 Both speak :class:`ExecutionResult`, the minimal completion record the
 server folds into ledger + metrics + spans.  Requests cross the process
-boundary as plain tuples (seq, qid, text, submit_wall) — or, for the
-micro-batcher (PR 7), as ``("batch", [tuples...])``, executed through
+boundary as plain tuples ``(seq, qid, text, submit_wall, trace)`` — or,
+for the micro-batcher, as ``("batch", [tuples...])``, executed through
 ``QAPipeline.answer_batch`` so duplicate questions replay and posting
 fetches are shared — and results come back as tagged tuples — tiny,
-picklable, and version-free.  Batched execution is bit-identical in
-answers; each question still gets its own completion record, carrying
-the batch's sharing stats for the ``stage:PR-batch`` span.
+picklable, and version-free.  ``trace`` is the optional
+:class:`~repro.observability.telemetry.TraceContext` wire pair: when
+present, the worker returns a packed span subtree built from its
+measured module timings with the reply, which the server grafts into
+its own stream to form one stitched tree per question.
+
+Each worker also runs its pipeline against a private
+:class:`~repro.observability.metrics.MetricsRegistry` and piggybacks
+periodic snapshots on the response queue (plus a final one at drain);
+the pool keeps the latest snapshot per worker in
+:attr:`ProcessWorkerPool.worker_snapshots` for the server's aggregated
+registry — counters from all workers sum, gauges stay labeled per pid.
 """
 
 from __future__ import annotations
@@ -34,14 +43,20 @@ import typing as t
 from dataclasses import dataclass
 
 from ..corpus import CorpusConfig
+from ..observability.metrics import MetricsRegistry
+from ..observability.telemetry import worker_span_records
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from ..qa import QAPipeline
+    from ..observability.telemetry import PackedSpan
 
 __all__ = ["ExecutionResult", "InlineExecutor", "ProcessWorkerPool"]
 
 #: Answers forwarded per question (keeps IPC payloads small).
 _MAX_ANSWERS = 3
+
+#: Completions between piggybacked worker-metrics snapshots.
+_SNAPSHOT_EVERY = 16
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,6 +77,9 @@ class ExecutionResult:
     #: When executed as part of a micro-batch: (batch_size, n_distinct,
     #: sharing_factor, amortized_postings_scanned); ``None`` otherwise.
     batch: tuple[int, int, float, float] | None = None
+    #: Sampled-trace reply: (trace_id, parent_sid, packed span subtree);
+    #: ``None`` when the request carried no trace context.
+    spans: tuple[str, int, tuple["PackedSpan", ...]] | None = None
 
 
 def _digest_answers(answers: t.Sequence[t.Any]) -> tuple[tuple[str, float], ...]:
@@ -69,23 +87,49 @@ def _digest_answers(answers: t.Sequence[t.Any]) -> tuple[tuple[str, float], ...]
     return tuple((a.text, float(a.score)) for a in answers[:_MAX_ANSWERS])
 
 
+def _request_fields(
+    item: t.Sequence[t.Any],
+) -> tuple[int, int, str, float, tuple[str, int] | None]:
+    """Unpack a request tuple; the trace element is optional (wire compat)."""
+    seq, qid, text, submit_wall = item[0], item[1], item[2], item[3]
+    trace = item[4] if len(item) > 4 else None
+    return seq, qid, text, submit_wall, trace
+
+
 def _worker_main(
     config: CorpusConfig,
     requests: "multiprocessing.queues.Queue[t.Any]",
     responses: "multiprocessing.queues.Queue[t.Any]",
+    snapshot_every: int = _SNAPSHOT_EVERY,
 ) -> None:
     """Worker process body: attach, announce readiness, serve until sentinel."""
     from ..experiments.context import build_serving_context
 
-    ctx = build_serving_context(config)
-    responses.put(("ready", os.getpid(), ctx.index_source, ctx.index_seconds))
+    metrics = MetricsRegistry()
+    ctx = build_serving_context(config, metrics=metrics)
+    pid = os.getpid()
+    responses.put(("ready", pid, ctx.index_source, ctx.index_seconds))
+    completed = 0
+    last_snapshot_at = 0
+
+    def maybe_snapshot(force: bool = False) -> None:
+        nonlocal last_snapshot_at
+        due = (
+            snapshot_every > 0
+            and completed - last_snapshot_at >= snapshot_every
+        )
+        if (due or force) and len(metrics):
+            last_snapshot_at = completed
+            responses.put(("metrics", pid, metrics.snapshot()))
+
     while True:
         item = requests.get()
         if item is None:
-            responses.put(("bye", os.getpid()))
+            maybe_snapshot(force=True)
+            responses.put(("bye", pid))
             return
         if isinstance(item, tuple) and item[0] == "batch":
-            entries: list[tuple[int, int, str, float]] = item[1]
+            entries: list[tuple[t.Any, ...]] = item[1]
             picked_wall = time.time()
             t0 = time.perf_counter()
             try:
@@ -99,9 +143,17 @@ def _worker_main(
                     stats.sharing_factor,
                     stats.amortized_postings_scanned,
                 )
-                for (seq, qid, _text, submit_wall), r in zip(
-                    entries, batch_results
-                ):
+                for entry, r in zip(entries, batch_results):
+                    seq, qid, _text, submit_wall, trace = _request_fields(entry)
+                    spans_wire = None
+                    if trace is not None:
+                        spans_wire = (
+                            trace[0],
+                            trace[1],
+                            worker_span_records(
+                                r.timings, r.timings.total, batch=binfo
+                            ),
+                        )
                     responses.put(
                         (
                             "done",
@@ -110,17 +162,19 @@ def _worker_main(
                             _digest_answers(r.answers),
                             max(0.0, picked_wall - submit_wall),
                             r.timings.total,
-                            os.getpid(),
+                            pid,
                             "",
                             r.timings.pr,
                             binfo,
+                            spans_wire,
                         )
                     )
             except Exception as exc:  # account every item of the batch
                 error = f"{type(exc).__name__}: {exc}"
                 service_s = time.perf_counter() - t0
                 per_item = service_s / max(1, len(entries))
-                for seq, qid, _text, submit_wall in entries:
+                for entry in entries:
+                    seq, qid, _text, submit_wall, _trace = _request_fields(entry)
                     responses.put(
                         (
                             "done",
@@ -129,26 +183,37 @@ def _worker_main(
                             (),
                             max(0.0, picked_wall - submit_wall),
                             per_item,
-                            os.getpid(),
+                            pid,
                             error,
                             0.0,
                             None,
+                            None,
                         )
                     )
+            completed += len(entries)
+            maybe_snapshot()
             continue
-        seq, qid, text, submit_wall = item
+        seq, qid, text, submit_wall, trace = _request_fields(item)
         picked_wall = time.time()
         t0 = time.perf_counter()
+        spans_wire = None
         try:
             result = ctx.pipeline.answer(text, qid=qid)
             answers = _digest_answers(result.answers)
             pr_s = result.timings.pr
             error = ""
         except Exception as exc:  # the question must still be accounted for
+            result = None
             answers = ()
             pr_s = 0.0
             error = f"{type(exc).__name__}: {exc}"
         service_s = time.perf_counter() - t0
+        if trace is not None and result is not None:
+            spans_wire = (
+                trace[0],
+                trace[1],
+                worker_span_records(result.timings, service_s),
+            )
         responses.put(
             (
                 "done",
@@ -157,12 +222,15 @@ def _worker_main(
                 answers,
                 max(0.0, picked_wall - submit_wall),
                 service_s,
-                os.getpid(),
+                pid,
                 error,
                 pr_s,
                 None,
+                spans_wire,
             )
         )
+        completed += 1
+        maybe_snapshot()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -181,12 +249,14 @@ class ProcessWorkerPool:
         config: CorpusConfig,
         workers: int,
         start_timeout_s: float = 120.0,
+        snapshot_every: int = _SNAPSHOT_EVERY,
     ) -> None:
         if workers < 1:
             raise ValueError("ProcessWorkerPool needs at least one worker")
         self.config = config
         self.workers = workers
         self.start_timeout_s = start_timeout_s
+        self.snapshot_every = snapshot_every
         ctx = _pool_context()
         self._requests: multiprocessing.queues.Queue[t.Any] = ctx.Queue()
         self._responses: multiprocessing.queues.Queue[t.Any] = ctx.Queue()
@@ -195,6 +265,9 @@ class ProcessWorkerPool:
         #: Per-worker index provenance, filled by the ready handshake:
         #: {pid: ("cache"|"built", seconds)}.
         self.attach_report: dict[int, tuple[str, float]] = {}
+        #: Latest piggybacked metrics snapshot per worker pid.  Snapshots
+        #: are cumulative, so keeping only the newest is lossless.
+        self.worker_snapshots: dict[int, dict[str, dict[str, t.Any]]] = {}
 
     def start(self) -> None:
         """Warm the shared artifact, spawn workers, await readiness."""
@@ -210,7 +283,12 @@ class ProcessWorkerPool:
         for _ in range(self.workers):
             p = self._ctx.Process(
                 target=_worker_main,
-                args=(self.config, self._requests, self._responses),
+                args=(
+                    self.config,
+                    self._requests,
+                    self._responses,
+                    self.snapshot_every,
+                ),
                 daemon=True,
             )
             p.start()
@@ -230,18 +308,37 @@ class ProcessWorkerPool:
             if msg[0] == "ready":
                 _, pid, source, seconds = msg
                 self.attach_report[pid] = (source, seconds)
+            elif msg[0] == "metrics":
+                self.worker_snapshots[msg[1]] = msg[2]
 
-    def submit(self, seq: int, qid: int, text: str, submit_wall: float) -> None:
-        self._requests.put((seq, qid, text, submit_wall))
-
-    def submit_batch(
-        self, items: t.Sequence[tuple[int, int, str, float]]
+    def submit(
+        self,
+        seq: int,
+        qid: int,
+        text: str,
+        submit_wall: float,
+        trace: tuple[str, int] | None = None,
     ) -> None:
+        self._requests.put((seq, qid, text, submit_wall, trace))
+
+    def submit_batch(self, items: t.Sequence[tuple[t.Any, ...]]) -> None:
         """Hand a micro-batch to one worker as a single request."""
         self._requests.put(("batch", list(items)))
 
     def _to_result(self, msg: tuple[t.Any, ...]) -> ExecutionResult:
-        _, seq, qid, answers, wait_s, service_s, pid, error, pr_s, batch = msg
+        (
+            _,
+            seq,
+            qid,
+            answers,
+            wait_s,
+            service_s,
+            pid,
+            error,
+            pr_s,
+            batch,
+            spans,
+        ) = msg
         return ExecutionResult(
             seq=seq,
             qid=qid,
@@ -252,6 +349,7 @@ class ProcessWorkerPool:
             error=error,
             pr_s=pr_s,
             batch=batch,
+            spans=spans,
         )
 
     def poll(self) -> list[ExecutionResult]:
@@ -264,6 +362,8 @@ class ProcessWorkerPool:
                 return out
             if msg[0] == "done":
                 out.append(self._to_result(msg))
+            elif msg[0] == "metrics":
+                self.worker_snapshots[msg[1]] = msg[2]
 
     def drain(self, timeout_s: float) -> list[ExecutionResult]:
         """Send sentinels, then collect completions until every worker exits.
@@ -286,6 +386,8 @@ class ProcessWorkerPool:
                 break
             if msg[0] == "done":
                 out.append(self._to_result(msg))
+            elif msg[0] == "metrics":
+                self.worker_snapshots[msg[1]] = msg[2]
             elif msg[0] == "bye":
                 byes += 1
         return out
@@ -309,37 +411,53 @@ class InlineExecutor:
         self.pipeline = pipeline
         self._completed: list[ExecutionResult] = []
         self.attach_report: dict[int, tuple[str, float]] = {}
+        self.worker_snapshots: dict[int, dict[str, dict[str, t.Any]]] = {}
 
     def start(self) -> None:  # nothing to spawn
         pass
 
-    def submit(self, seq: int, qid: int, text: str, submit_wall: float) -> None:
+    def submit(
+        self,
+        seq: int,
+        qid: int,
+        text: str,
+        submit_wall: float,
+        trace: tuple[str, int] | None = None,
+    ) -> None:
         t0 = time.perf_counter()
+        spans_wire = None
         try:
             result = self.pipeline.answer(text, qid=qid)
             answers = _digest_answers(result.answers)
             pr_s = result.timings.pr
             error = ""
         except Exception as exc:
+            result = None
             answers = ()
             pr_s = 0.0
             error = f"{type(exc).__name__}: {exc}"
+        service_s = time.perf_counter() - t0
+        if trace is not None and result is not None:
+            spans_wire = (
+                trace[0],
+                trace[1],
+                worker_span_records(result.timings, service_s),
+            )
         self._completed.append(
             ExecutionResult(
                 seq=seq,
                 qid=qid,
                 answers=answers,
                 wait_s=0.0,
-                service_s=time.perf_counter() - t0,
+                service_s=service_s,
                 worker_pid=0,
                 error=error,
                 pr_s=pr_s,
+                spans=spans_wire,
             )
         )
 
-    def submit_batch(
-        self, items: t.Sequence[tuple[int, int, str, float]]
-    ) -> None:
+    def submit_batch(self, items: t.Sequence[tuple[t.Any, ...]]) -> None:
         """Execute a micro-batch inline through ``answer_batch``."""
         try:
             results = self.pipeline.answer_batch(
@@ -352,7 +470,17 @@ class InlineExecutor:
                 stats.sharing_factor,
                 stats.amortized_postings_scanned,
             )
-            for (seq, qid, _text, _wall), r in zip(items, results):
+            for item, r in zip(items, results):
+                seq, qid, _text, _wall, trace = _request_fields(item)
+                spans_wire = None
+                if trace is not None:
+                    spans_wire = (
+                        trace[0],
+                        trace[1],
+                        worker_span_records(
+                            r.timings, r.timings.total, batch=binfo
+                        ),
+                    )
                 self._completed.append(
                     ExecutionResult(
                         seq=seq,
@@ -364,11 +492,13 @@ class InlineExecutor:
                         error="",
                         pr_s=r.timings.pr,
                         batch=binfo,
+                        spans=spans_wire,
                     )
                 )
         except Exception as exc:
             error = f"{type(exc).__name__}: {exc}"
-            for seq, qid, _text, _wall in items:
+            for item in items:
+                seq, qid, _text, _wall, _trace = _request_fields(item)
                 self._completed.append(
                     ExecutionResult(
                         seq=seq,
@@ -386,6 +516,10 @@ class InlineExecutor:
         return out
 
     def drain(self, timeout_s: float) -> list[ExecutionResult]:
+        """Inline drain; also publishes the pipeline's metrics snapshot."""
+        pipeline_metrics = getattr(self.pipeline, "metrics", None)
+        if pipeline_metrics is not None and len(pipeline_metrics):
+            self.worker_snapshots[0] = pipeline_metrics.snapshot()
         return self.poll()
 
     def stop(self) -> None:

@@ -1,0 +1,134 @@
+"""Mergeable metrics: snapshot round-trips and deterministic aggregation."""
+
+import json
+
+from repro.observability.metrics import (
+    Histogram,
+    MetricsRegistry,
+    gauge_label,
+    merge_snapshots,
+)
+
+
+def _worker_registry(offset: float) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("retrieval.postings_scanned", 100 + offset)
+    reg.gauge("retrieval.index.memory_bytes").set(1000 + offset)
+    for i in range(20):
+        reg.observe("serving.service_s", offset + i * 0.01)
+    return reg
+
+
+class TestSnapshot:
+    def test_snapshot_is_strict_json(self):
+        reg = _worker_registry(0.0)
+        reg.histogram("empty.hist")  # zero samples: min/max must not be inf
+        text = json.dumps(reg.snapshot(), allow_nan=False)
+        assert "Infinity" not in text
+
+    def test_empty_histogram_state_has_null_min_max(self):
+        h = Histogram("h")
+        state = h.state_dict()
+        assert state["count"] == 0
+        assert state["min"] is None and state["max"] is None
+
+    def test_snapshot_then_merge_is_identity(self):
+        reg = _worker_registry(1.0)
+        clone = MetricsRegistry()
+        clone.merge_snapshot(reg.snapshot())
+        assert clone.snapshot() == reg.snapshot()
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        agg = MetricsRegistry()
+        agg.merge_snapshot(_worker_registry(0.0).snapshot())
+        agg.merge_snapshot(_worker_registry(5.0).snapshot())
+        assert agg.counter("retrieval.postings_scanned").value == 205.0
+
+    def test_gauges_keep_labeled_per_source_values(self):
+        agg = merge_snapshots(
+            {
+                "worker=11": _worker_registry(0.0).snapshot(),
+                "worker=22": _worker_registry(5.0).snapshot(),
+            }
+        )
+        key_a = gauge_label("retrieval.index.memory_bytes", "worker=11")
+        key_b = gauge_label("retrieval.index.memory_bytes", "worker=22")
+        assert agg.gauge(key_a).value == 1000.0
+        assert agg.gauge(key_b).value == 1005.0
+        # The unlabeled name is not clobbered into existence.
+        assert "retrieval.index.memory_bytes" not in agg
+
+    def test_histogram_exact_aggregates_add(self):
+        a, b = _worker_registry(0.0), _worker_registry(5.0)
+        agg = MetricsRegistry()
+        agg.merge_snapshot(a.snapshot())
+        agg.merge_snapshot(b.snapshot())
+        h = agg.histogram("serving.service_s")
+        ha = a.histogram("serving.service_s")
+        hb = b.histogram("serving.service_s")
+        assert h.count == ha.count + hb.count == 40
+        assert h.total == ha.total + hb.total
+        assert h.min == min(ha.min, hb.min)
+        assert h.max == max(ha.max, hb.max)
+
+    def test_merge_order_of_labels_is_irrelevant_for_counters_and_hists(self):
+        snaps = {
+            "worker=1": _worker_registry(0.0).snapshot(),
+            "worker=2": _worker_registry(3.0).snapshot(),
+        }
+        # merge_snapshots sorts labels, so both dict orders agree.
+        agg1 = merge_snapshots(dict(snaps))
+        agg2 = merge_snapshots(dict(reversed(list(snaps.items()))))
+        assert agg1.snapshot() == agg2.snapshot()
+
+    def test_merge_is_deterministic_under_decimation(self):
+        def build():
+            a = Histogram("h", max_samples=16)
+            b = Histogram("h", max_samples=16)
+            for i in range(100):
+                a.observe(float(i))
+            for i in range(37):
+                b.observe(1000.0 + i)
+            a.merge_state(b.state_dict())
+            return a.state_dict()
+
+        first, second = build(), build()
+        assert first == second
+        assert len(first["samples"]) < 16  # bound respected after merge
+
+    def test_merge_aligns_strides(self):
+        fine = Histogram("h", max_samples=1024)
+        coarse = Histogram("h", max_samples=8)
+        for i in range(6):
+            fine.observe(float(i))
+        for i in range(100):
+            coarse.observe(float(i))  # forces decimation, stride > 1
+        state = coarse.state_dict()
+        assert state["stride"] > 1
+        fine.merge_state(state)
+        assert fine.count == 106
+        # Retained set thinned to the coarser stride, then concatenated.
+        assert fine.state_dict()["stride"] >= state["stride"]
+
+    def test_merge_empty_histogram_keeps_min_max(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        h.merge_state(Histogram("h").state_dict())
+        assert h.count == 1 and h.min == 2.0 and h.max == 2.0
+
+    def test_zero_sample_histograms_merge_cleanly(self):
+        h = Histogram("h")
+        h.merge_state(Histogram("h").state_dict())
+        assert h.count == 0
+        assert h.to_dict()["min"] == 0.0  # rendered form stays finite
+
+    def test_unknown_type_rejected(self):
+        agg = MetricsRegistry()
+        try:
+            agg.merge_snapshot({"x": {"type": "mystery", "value": 1}})
+        except ValueError as exc:
+            assert "mystery" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")

@@ -76,7 +76,7 @@ class TestOverloadProtocol:
 
     def test_overall_verdict_and_schema(self, overload_summary):
         assert overload_summary["ok"] is True
-        assert overload_summary["schema"] == "bench_serving/v2"
+        assert overload_summary["schema"] == "bench_serving/v3"
         assert overload_summary["saturation_qps"] > 0
 
     def test_workers_attach_to_shared_artifact(self, overload_summary):

@@ -1,0 +1,199 @@
+"""Rolling-window SLO monitor: typed transitions on logical time."""
+
+import json
+
+import pytest
+
+from repro.observability.telemetry import TelemetryWriter
+from repro.serving.slo import (
+    SLOConfig,
+    SLOMonitor,
+    SLOState,
+    format_top,
+    run_top,
+)
+
+CFG = SLOConfig(
+    window_s=10.0,
+    p99_target_s=0.5,
+    breach_factor=2.0,
+    shed_warn=0.10,
+    shed_breach=0.50,
+    min_samples=3,
+)
+
+
+def _feed_answered(monitor, t0, n, latency, dt=0.1, **kw):
+    for i in range(n):
+        monitor.record_answered(t0 + i * dt, latency, **kw)
+    return t0 + (n - 1) * dt
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOConfig(window_s=0.0)
+        with pytest.raises(ValueError):
+            SLOConfig(p99_target_s=-1.0)
+        with pytest.raises(ValueError):
+            SLOConfig(breach_factor=0.5)
+        with pytest.raises(ValueError):
+            SLOConfig(shed_warn=0.5, shed_breach=0.1)
+        with pytest.raises(ValueError):
+            SLOConfig(min_samples=0)
+
+
+class TestStateMachine:
+    def test_starts_ok_and_stays_ok_when_healthy(self):
+        m = SLOMonitor(CFG)
+        t = _feed_answered(m, 0.0, 10, latency=0.1)
+        report = m.evaluate(t)
+        assert report.state is SLOState.OK
+        assert not report.transition and not m.transitions
+        assert report.p99_s == pytest.approx(0.1)
+
+    def test_min_samples_gate_suppresses_early_judgement(self):
+        m = SLOMonitor(CFG)
+        m.record_answered(0.0, latency_s=100.0)  # horribly slow, but alone
+        report = m.evaluate(0.0)
+        assert report.state is SLOState.OK
+        assert report.n_answered == 1
+
+    def test_ok_warn_breach_ok_cycle(self):
+        m = SLOMonitor(CFG)
+        # Healthy.
+        t = _feed_answered(m, 0.0, 5, latency=0.1)
+        assert m.evaluate(t).state is SLOState.OK
+        # p99 above target but below breach_factor x target -> WARN.
+        t = _feed_answered(m, t + 0.1, 5, latency=0.7)
+        report = m.evaluate(t)
+        assert report.state is SLOState.WARN
+        assert report.transition and report.prev_state is SLOState.OK
+        assert any("p99" in r for r in report.reasons)
+        # p99 above 2x target -> BREACH.
+        t = _feed_answered(m, t + 0.1, 10, latency=1.5)
+        report = m.evaluate(t)
+        assert report.state is SLOState.BREACH
+        # Window slides past the bad stretch; healthy again -> OK.
+        t2 = _feed_answered(m, t + CFG.window_s + 1.0, 5, latency=0.1)
+        report = m.evaluate(t2)
+        assert report.state is SLOState.OK
+        states = [(old.value, new.value) for _, old, new, _ in m.transitions]
+        assert states == [("ok", "warn"), ("warn", "breach"), ("breach", "ok")]
+
+    def test_shed_rate_lines(self):
+        m = SLOMonitor(CFG)
+        t = _feed_answered(m, 0.0, 8, latency=0.1)
+        m.record_shed(t, reason="queue_full")  # 1/9 ~ 11% >= warn 10%
+        report = m.evaluate(t)
+        assert report.state is SLOState.WARN
+        assert any("shed rate" in r for r in report.reasons)
+        for i in range(8):
+            m.record_shed(t + 0.01 * (i + 1), reason="queue_full")
+        report = m.evaluate(t + 0.1)  # 9/17 > breach 50%? 9/17=52.9%
+        assert report.state is SLOState.BREACH
+
+    def test_deadline_violations_warn_even_when_fast(self):
+        m = SLOMonitor(CFG)
+        t = _feed_answered(m, 0.0, 5, latency=0.1)
+        m.record_answered(t + 0.1, 0.1, deadline_violated=True)
+        report = m.evaluate(t + 0.1)
+        assert report.state is SLOState.WARN
+        assert report.deadline_violations == 1
+        assert any("deadline" in r for r in report.reasons)
+
+    def test_window_expiry_trims_outcomes(self):
+        m = SLOMonitor(CFG)
+        _feed_answered(m, 0.0, 5, latency=1.5)  # breach-worthy
+        report = m.evaluate(CFG.window_s + 5.0)  # all expired
+        assert report.n_answered == 0
+        assert report.state is SLOState.OK
+
+    def test_utilization_per_worker(self):
+        m = SLOMonitor(CFG)
+        for i in range(4):
+            m.record_answered(
+                float(i), 0.1, service_s=0.5, worker_pid=100 + (i % 2)
+            )
+        report = m.evaluate(3.0)
+        assert set(report.utilization) == {100, 101}
+        # 2 x 0.5s service over a 3s observed span.
+        assert report.utilization[100] == pytest.approx(1.0 / 3.0)
+        assert all(0.0 <= u <= 1.0 for u in report.utilization.values())
+
+    def test_report_to_dict_is_json_and_stringifies_pids(self):
+        m = SLOMonitor(CFG)
+        _feed_answered(m, 0.0, 5, latency=0.1, service_s=0.05, worker_pid=7)
+        body = m.evaluate(0.5).to_dict()
+        text = json.dumps(body, allow_nan=False)
+        assert '"7"' in text
+        assert body["state"] == "ok" and body["transition"] is False
+
+
+class TestTopDashboard:
+    def _telemetry(self, path, with_slo=True):
+        with TelemetryWriter(path, header={"workers": 2}) as w:
+            for i in range(6):
+                w.write_sample(
+                    t_s=float(i), seq=i, qid=i, outcome="answered",
+                    latency_s=0.1 + 0.01 * i, wait_s=0.01,
+                    service_s=0.08, worker=4000 + (i % 2), sampled=True,
+                )
+            w.write_sample(
+                t_s=6.0, seq=6, qid=6, outcome="shed",
+                worker=-1, forced=True, reason="shed:queue_full",
+            )
+            if with_slo:
+                m = SLOMonitor(SLOConfig(p99_target_s=0.05, min_samples=3))
+                for i in range(6):
+                    m.record_answered(float(i), 0.1 + 0.01 * i)
+                w.write_slo(m.evaluate(6.0).to_dict())
+        return path
+
+    def test_format_top_renders_state_and_workers(self):
+        m = SLOMonitor(CFG)
+        _feed_answered(m, 0.0, 5, latency=0.7, service_s=0.3, worker_pid=9)
+        text = format_top(
+            m.evaluate(0.5).to_dict(),
+            samples=[{"qid": 3, "outcome": "answered", "latency_s": 0.7,
+                      "worker": 9, "forced": False}],
+            totals={"answered": 5},
+            source="test",
+        )
+        assert "SLO WARN" in text
+        assert "w9:" in text
+        assert "totals: answered=5" in text
+        assert "! p99" in text
+
+    def test_run_top_over_file_with_slo_records(self, tmp_path):
+        path = self._telemetry(tmp_path / "telemetry.jsonl")
+        frames = []
+        n = run_top(str(path), follow=False, out=frames.append)
+        assert n == 1 and len(frames) == 1
+        # The written slo record judged BREACH (p99 0.15s > 2x 0.05s target).
+        assert "SLO BREACH" in frames[0]
+        assert "answered=6" in frames[0] and "shed=1" in frames[0]
+
+    def test_run_top_replays_samples_when_no_slo_record(self, tmp_path):
+        path = self._telemetry(tmp_path / "t.jsonl", with_slo=False)
+        frames = []
+        run_top(str(path), follow=False, out=frames.append)
+        # Fallback replay through a fresh default monitor: the single
+        # shed (1/7 ~ 14%) crosses the default 5% warn line.
+        assert "SLO WARN" in frames[0]
+        assert "shed rate" in frames[0]
+        assert "shed=1" in frames[0]
+
+    def test_run_top_missing_file_waits(self, tmp_path):
+        frames = []
+        run_top(str(tmp_path / "absent.jsonl"), follow=False, out=frames.append)
+        assert "waiting for telemetry" in frames[0]
+
+    def test_run_top_follow_caps_at_max_frames(self, tmp_path):
+        path = self._telemetry(tmp_path / "telemetry.jsonl")
+        frames = []
+        n = run_top(
+            str(path), follow=True, interval_s=0.0, max_frames=3,
+            out=frames.append,
+        )
+        assert n == 3 and len(frames) == 3
