@@ -23,6 +23,12 @@ simbench    simulation-core benchmark: events/sec microbench (baseline
             round trip (build/serialize/attach + memory footprint);
             writes BENCH_simperf.json and fails on any determinism or
             round-trip mismatch
+scale       weak-scaling sweep to the paper's 1000-node extrapolation
+            (calendar queue + sharded monitoring) with the Eq 23
+            cross-check at every decade, the heap-vs-calendar
+            firing-order gate, and the events/sec comparison against
+            the pre-sharding baseline; writes BENCH_scale.json and
+            fails if the backends' firing order ever diverges
 serve       long-lived admission-controlled server over the real
             pipeline: worker processes attach to the shared packed-index
             artifact, questions arrive on stdin, overload is shed with a
@@ -248,6 +254,27 @@ def _cmd_simbench(args: argparse.Namespace) -> None:
         raise SystemExit(
             "simbench FAILED: parallel output diverged from serial, or the "
             "packed-index payload failed its round trip"
+        )
+
+
+def _cmd_scale(args: argparse.Namespace) -> None:
+    from .experiments.scale import format_scale, run_scale, write_scale_json
+
+    summary = run_scale(
+        node_counts=tuple(args.nodes),
+        strategies=tuple(args.strategies),
+        questions_per_node=args.questions_per_node,
+        seed=args.seed,
+        baseline_at=tuple(args.baseline_at) if args.baseline_at else None,
+        jobs=args.jobs,
+    )
+    print(format_scale(summary))
+    out = write_scale_json(summary, args.output)
+    print(f"wrote {out}")
+    if not summary["ok"]:
+        raise SystemExit(
+            "scale FAILED: calendar and heap backends fired a seeded "
+            "workload in different orders"
         )
 
 
@@ -576,6 +603,41 @@ def main(argv: t.Sequence[str] | None = None) -> None:
         help="where to write the JSON summary",
     )
     simbench.set_defaults(func=_cmd_simbench)
+
+    scale = sub.add_parser(
+        "scale",
+        help="weak-scaling sweep to 1000 nodes with the Eq 23 cross-check",
+    )
+    scale.add_argument(
+        "--nodes", nargs="*", type=int,
+        default=[16, 32, 64, 128, 256, 512, 1000],
+        help="cluster sizes to sweep (N=1 is always added as the "
+        "speedup anchor)",
+    )
+    scale.add_argument(
+        "--strategies", nargs="*", choices=["SEND", "ISEND", "RECV"],
+        default=["SEND", "ISEND", "RECV"],
+        help="AP partitioning strategies to sweep (PR always uses RECV)",
+    )
+    scale.add_argument(
+        "--questions-per-node", type=int, default=4,
+        help="weak-scaling offered load (Eq 23's q)",
+    )
+    scale.add_argument("--seed", type=int, default=11)
+    scale.add_argument(
+        "--baseline-at", nargs="*", type=int, default=None,
+        help="node counts that also run the pre-sharding O(N^2) baseline "
+        "(default: every swept N >= 256, else the largest N)",
+    )
+    scale.add_argument(
+        "-j", "--jobs", default=None,
+        help="parallel cell workers (integer or 'auto'; default serial)",
+    )
+    scale.add_argument(
+        "--output", default="BENCH_scale.json",
+        help="where to write the JSON summary",
+    )
+    scale.set_defaults(func=_cmd_scale)
 
     serve = sub.add_parser(
         "serve",

@@ -18,7 +18,6 @@ interval do not all stampede to the same target.
 from __future__ import annotations
 
 import typing as t
-from dataclasses import replace
 
 from ..observability.metrics import MetricsRegistry
 from ..observability.names import (
@@ -129,16 +128,5 @@ class QuestionDispatcher:
         self.migrations += 1
         if self.metrics is not None:
             self.metrics.inc(QA_MIGRATIONS)
-        self._note_assignment(host_id, best)
+        self.monitoring.note_question_assignment(host_id, best)
         return best
-
-    def _note_assignment(self, observer: int, target: int) -> None:
-        """Optimistically account one more question on ``target`` in the
-        observer's local table (refreshed by the next broadcast)."""
-        table = self.monitoring.tables[observer]
-        snap = table[target]
-        table[target] = replace(
-            snap,
-            n_questions=snap.n_questions + 1,
-            n_waiting=snap.n_waiting + 1,
-        )

@@ -15,7 +15,7 @@ per-overhead-component accounting (Tables 8 and 9).
 from __future__ import annotations
 
 import typing as t
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from ..observability.names import (
     NODE_QUEUE_WAIT_S,
@@ -780,16 +780,12 @@ class DistributedQATask:
             registry=self.system.metrics,
         )
         # Optimistically account the dispatched work on the chosen nodes in
-        # this host's local table, damping same-interval herding.
-        tbl = self.system.monitoring.tables[self.host]
+        # this host's view, damping same-interval herding.
+        monitoring = self.system.monitoring
         for nid, share in assignment.shares:
-            snap = tbl.get(nid)
-            if snap is not None:
-                tbl[nid] = replace(
-                    snap,
-                    cpu_load=snap.cpu_load + weights.cpu * share,
-                    disk_load=snap.disk_load + weights.disk * share,
-                )
+            monitoring.note_load_share(
+                self.host, nid, weights.cpu * share, weights.disk * share
+            )
         return assignment
 
     def _distribute(

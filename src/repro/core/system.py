@@ -64,6 +64,15 @@ class SystemConfig:
     monitor_interval_s: float = 1.0
     monitor_packet_bytes: float = 512.0
     membership_timeout_s: float = 3.0
+    #: Load-monitoring topology: 0 = every node broadcasts its full table
+    #: (the paper's protocol, O(N^2) table writes per interval); k >= 1 =
+    #: nodes upload deltas to k shard-local aggregators that publish
+    #: merged tables (O(N) per interval; use ~sqrt(N) for large clusters).
+    monitor_shards: int = 0
+    #: Event-queue backend for the simulation clock: "heap" or "calendar"
+    #: (identical firing order; the calendar queue is O(1) amortized and
+    #: pays off on large-N runs).
+    queue_impl: str = "heap"
     dns_cache_skew: float = 0.0
     policy: TaskPolicy = field(default_factory=TaskPolicy)
     #: Extension: receiver-initiated diffusion — nodes with a free slot
@@ -207,7 +216,7 @@ class DistributedQASystem:
 
     def __init__(self, config: SystemConfig | None = None) -> None:
         self.config = config or SystemConfig()
-        self.env = Environment()
+        self.env = Environment(queue=self.config.queue_impl)
         #: One metrics registry per system: every subsystem records its
         #: counters/histograms here under the canonical names of
         #: :mod:`repro.observability.names`.
@@ -237,6 +246,7 @@ class DistributedQASystem:
             packet_bytes=self.config.monitor_packet_bytes,
             membership_timeout_s=self.config.membership_timeout_s,
             metrics=self.metrics,
+            shards=self.config.monitor_shards,
         )
         self.question_dispatcher = QuestionDispatcher(
             self.monitoring, metrics=self.metrics

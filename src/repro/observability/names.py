@@ -27,6 +27,7 @@ __all__ = [
     "INDEX_MEMORY_BYTES",
     "MONITOR_BROADCASTS",
     "MONITOR_BUSY_S",
+    "MONITOR_SHARD_PUBLISHES",
     "N_KEYWORDS",
     "NODE_QUEUE_WAIT_S",
     "POSTINGS_SCANNED",
@@ -116,6 +117,8 @@ TASK_RETRIES = "task.frontend_retries"
 #: Load-monitor broadcasts and total monitoring busy time (CPU + network).
 MONITOR_BROADCASTS = "monitor.broadcasts"
 MONITOR_BUSY_S = "monitor.busy_s"
+#: Sharded monitoring (PR 9): merged-table broadcasts by shard aggregators.
+MONITOR_SHARD_PUBLISHES = "monitor.shard_publishes"
 #: Admission-queue wait per question hop (histogram, seconds).
 NODE_QUEUE_WAIT_S = "node.queue_wait_s"
 

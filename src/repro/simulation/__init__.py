@@ -14,17 +14,20 @@ Pentium III machines) with a deterministic discrete-event simulator:
 * :class:`~repro.simulation.failures.FailureInjector` — node crash/recovery.
 """
 
+from .calendar import CalendarQueue
 from .chaos import ChaosConfig, FaultInterval, generate_chaos_schedule
 from .engine import EmptySchedule, Environment, Process
 from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
 from .failures import FailureInjector, FailureSchedule
 from .network import Network, TransferFailed
 from .resources import FairShareResource, Job, MemoryResource
+from .schedkey import SeqHeap
 from .statistics import RunningMean, TimeWeightedSignal
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "ChaosConfig",
     "EmptySchedule",
     "Environment",
@@ -39,6 +42,7 @@ __all__ = [
     "Network",
     "Process",
     "RunningMean",
+    "SeqHeap",
     "SimulationError",
     "TimeWeightedSignal",
     "Timeout",

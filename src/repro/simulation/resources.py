@@ -19,12 +19,11 @@ changes are O(log n).
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import typing as t
 
 from .engine import Environment
 from .events import Event, SimulationError
+from .schedkey import SeqHeap
 from .statistics import TimeWeightedSignal
 
 __all__ = ["FairShareResource", "Job", "MemoryResource"]
@@ -73,8 +72,8 @@ class FairShareResource:
         self.name = name
         self._capacity = float(capacity)
         self._jobs: set[Job] = set()
-        self._heap: list[tuple[float, int, Job]] = []
-        self._seq = itertools.count()
+        #: Completion order: (target_v, seq, job) via the shared tiebreak.
+        self._sched = SeqHeap()
         self._vtime = 0.0
         self._t_last = env.now
         self._weight_sum = 0.0
@@ -132,7 +131,7 @@ class FairShareResource:
         job._target_v = self._vtime + demand / weight
         self._jobs.add(job)
         self._weight_sum += weight
-        heapq.heappush(self._heap, (job._target_v, next(self._seq), job))
+        self._sched.push(job, job._target_v)
         now = self.env.now
         self.active_jobs.add(now, 1.0)
         if len(self._jobs) == 1:
@@ -185,13 +184,13 @@ class FairShareResource:
         # simply forgetting it here is enough.
         self._wakeup = None
         # Drop cancelled/stale heap entries.
-        while self._heap and (
-            self._heap[0][2].cancelled or self._heap[0][2].done
-        ):
-            heapq.heappop(self._heap)
-        if not self._heap:
+        sched = self._sched
+        entries = sched.entries
+        while entries and (entries[0][-1].cancelled or entries[0][-1].done):
+            sched.pop()
+        if not entries:
             return
-        target_v, _, _ = self._heap[0]
+        target_v = entries[0][0]
         dt = max(0.0, (target_v - self._vtime) * self._weight_sum / self._capacity)
         wakeup = self.env.timeout(dt)
         self._wakeup = wakeup
@@ -205,12 +204,14 @@ class FairShareResource:
         # Complete every job whose virtual target has been reached (ties
         # complete together, e.g. equal demands started together).
         eps = 1e-9 * max(1.0, abs(self._vtime))
-        while self._heap and (
-            self._heap[0][2].cancelled
-            or self._heap[0][2].done
-            or self._heap[0][0] <= self._vtime + eps
+        sched = self._sched
+        entries = sched.entries
+        while entries and (
+            entries[0][-1].cancelled
+            or entries[0][-1].done
+            or entries[0][0] <= self._vtime + eps
         ):
-            _, _, job = heapq.heappop(self._heap)
+            job = sched.pop()[-1]
             if job.cancelled or job.done:
                 continue
             self._remove(job)

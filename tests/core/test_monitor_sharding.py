@@ -1,0 +1,160 @@
+"""Tests for sharded load monitoring (aggregator plane, ISSUE 9)."""
+
+import pytest
+
+from repro.core import ClusterNode, MonitoringSystem
+from repro.core.monitor import auto_shard_count
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.names import MONITOR_SHARD_PUBLISHES
+from repro.simulation import Environment, Network
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+def build(env, n=6, shards=2, interval=1.0, metrics=None):
+    net = Network(env, bandwidth_bps=100e6)
+    nodes = [ClusterNode(env, i) for i in range(n)]
+    mon = MonitoringSystem(
+        env, net, nodes, interval_s=interval, shards=shards, metrics=metrics
+    )
+    return net, nodes, mon
+
+
+class TestShardLayout:
+    def test_auto_shard_count_is_about_sqrt(self):
+        assert auto_shard_count(1) == 1
+        assert auto_shard_count(16) == 4
+        assert auto_shard_count(1000) == 32
+
+    def test_legacy_mode_by_default(self, env):
+        net = Network(env, bandwidth_bps=100e6)
+        nodes = [ClusterNode(env, i) for i in range(3)]
+        mon = MonitoringSystem(env, net, nodes)
+        assert mon.sharded is False
+        assert mon.n_shards == 0
+
+    def test_members_partition_the_cluster(self, env):
+        _, _, mon = build(env, n=7, shards=3)
+        all_members = [nid for members in mon._members for nid in members]
+        assert sorted(all_members) == list(range(7))
+        assert all(mon._shard_of[nid] == s
+                   for s, members in enumerate(mon._members)
+                   for nid in members)
+
+    def test_shards_clamped_to_node_count(self, env):
+        _, _, mon = build(env, n=3, shards=10)
+        assert mon.n_shards == 3
+
+
+class TestShardedView:
+    def test_seeded_view_covers_all_nodes_before_first_publish(self, env):
+        _, _, mon = build(env, n=6, shards=2)
+        assert set(mon.view(0)) == set(range(6))
+
+    def test_view_reflects_published_not_working_state(self, env):
+        _, nodes, mon = build(env, n=4, shards=2)
+
+        def burn():
+            yield from nodes[1].run_cpu(5.0)
+
+        env.process(burn())
+        env.run(until=2.5)
+        # By 2.5 s every shard has published at least once, carrying the
+        # monitors' 1 s-interval measurements of the busy node.
+        snap = mon.view(0)[1]
+        assert snap.timestamp > 0
+        assert snap.cpu_load > 0.4
+
+    def test_observer_sees_itself_live(self, env):
+        _, nodes, mon = build(env, n=4, shards=2)
+        nodes[0].active_questions = 9
+        assert mon.view(0)[0].n_questions == 9
+
+    def test_local_snapshot_tracks_self_report(self, env):
+        _, _, mon = build(env, n=4, shards=2)
+        assert mon.local_snapshot(2).node_id == 2
+        env.run(until=2.5)
+        assert mon.local_snapshot(2).timestamp > 0
+
+    def test_dead_node_leaves_view_after_timeout(self, env):
+        _, nodes, mon = build(env, n=4, shards=2)
+        env.run(until=2.5)
+        nodes[3].up = False
+        env.run(until=9.0)
+        assert 3 not in mon.view(0)
+        assert (9.0, 3, False) not in mon.membership_log  # logged earlier
+        assert any(nid == 3 and not live
+                   for _, nid, live in mon.membership_log)
+
+
+class TestOptimisticBumps:
+    def test_assignment_bump_visible_to_observer_only(self, env):
+        _, _, mon = build(env, n=6, shards=2)
+        env.run(until=2.5)
+        before = mon.view(0)[3].n_questions
+        mon.note_question_assignment(0, 3)
+        after = mon.view(0)[3]
+        assert after.n_questions == before + 1
+        assert after.n_waiting >= 1
+        # Another observer's view is untouched.
+        assert mon.view(1)[3].n_questions == before
+
+    def test_load_share_bump_accumulates(self, env):
+        _, _, mon = build(env, n=6, shards=2)
+        env.run(until=2.5)
+        base = mon.view(0)[4]
+        mon.note_load_share(0, 4, cpu=0.5, disk=0.25)
+        mon.note_load_share(0, 4, cpu=0.5, disk=0.25)
+        snap = mon.view(0)[4]
+        assert snap.cpu_load == pytest.approx(base.cpu_load + 1.0)
+        assert snap.disk_load == pytest.approx(base.disk_load + 0.5)
+
+    def test_bump_expires_once_fresher_measurement_publishes(self, env):
+        _, _, mon = build(env, n=6, shards=2)
+        env.run(until=2.5)
+        mon.note_question_assignment(0, 3)
+        assert mon.view(0)[3].n_questions >= 1
+        # Two more monitor rounds + publishes: the target's own report
+        # (measured after the bump) supersedes the optimistic guess.
+        env.run(until=6.0)
+        assert mon.view(0)[3].n_questions == 0
+        assert 3 not in mon._overlays[0]
+
+
+class TestUploadPlane:
+    def test_publishers_count_and_metric(self, env):
+        reg = MetricsRegistry()
+        _, _, mon = build(env, n=6, shards=2, metrics=reg)
+        env.run(until=3.4)
+        # Each of the 2 shards publishes once per second after its
+        # phase-staggered start; by 3.4 s that is 3-4 publishes each.
+        assert 6 <= reg.value(MONITOR_SHARD_PUBLISHES) <= 8
+
+    def test_delta_uploads_shrink_when_nothing_changes(self, env):
+        net, _, mon = build(env, n=4, shards=2)
+        env.run(until=1.5)  # first round: full packets
+        first = net.bytes_transferred
+        env.run(until=2.5)  # idle cluster: "no change" deltas
+        second = net.bytes_transferred - first
+        assert second < first
+
+    def test_publish_traffic_scales_with_members_not_cluster(self, env):
+        _, _, mon = build(env, n=6, shards=3)
+        # A shard broadcast carries members * packet_bytes — the explicit
+        # per-shard N_k * S_load term of Eq 14.
+        assert len(mon._members[0]) * mon.packet_bytes == 2 * 512.0
+
+
+class TestLegacyUnchanged:
+    def test_legacy_note_methods_mutate_observer_table(self, env):
+        net = Network(env, bandwidth_bps=100e6)
+        nodes = [ClusterNode(env, i) for i in range(3)]
+        mon = MonitoringSystem(env, net, nodes)
+        mon.note_question_assignment(0, 1)
+        assert mon.tables[0][1].n_questions == 1
+        assert mon.tables[1][1].n_questions == 0
+        mon.note_load_share(0, 2, cpu=0.3, disk=0.1)
+        assert mon.tables[0][2].cpu_load == pytest.approx(0.3)

@@ -14,6 +14,7 @@ import pathlib
 
 import pytest
 
+from repro.experiments.scale import validate_bench_scale
 from repro.experiments.throughput_bench import validate_bench_throughput
 from repro.serving import validate_bench_serving
 
@@ -58,6 +59,43 @@ class TestThroughputSchema:
         speedup = throughput_summary["batch_speedup"]
         assert speedup["16"] >= 1.3, speedup
         assert throughput_summary["equivalence"]["equivalent"]
+
+
+@pytest.fixture(scope="module")
+def scale_summary():
+    return json.loads((_ROOT / "BENCH_scale.json").read_text())
+
+
+class TestScaleSchema:
+    def test_checked_in_artifact_validates(self, scale_summary):
+        validate_bench_scale(scale_summary)
+
+    def test_rejects_old_schema_version(self, scale_summary):
+        bad = copy.deepcopy(scale_summary)
+        bad["schema"] = "scale-v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_scale(bad)
+
+    def test_rejects_order_divergence(self, scale_summary):
+        bad = copy.deepcopy(scale_summary)
+        bad["order_identical"] = False
+        with pytest.raises(ValueError, match="firing-order"):
+            validate_bench_scale(bad)
+
+    def test_checked_in_sweep_reaches_1000_nodes(self, scale_summary):
+        """The acceptance floor: the paper's extrapolation ran for real,
+        firing order held, and the new configuration out-runs the
+        pre-sharding baseline in events/sec at N >= 256."""
+        assert max(scale_summary["node_counts"]) >= 1000
+        assert scale_summary["order_identical"] is True
+        checked = [
+            row["n_nodes"] for row in scale_summary["crosscheck"]
+        ]
+        assert set(scale_summary["node_counts"]) <= set(checked)
+        wins = {
+            w["n_nodes"]: w["win"] for w in scale_summary["baseline_wins"]
+        }
+        assert any(n >= 256 and won for n, won in wins.items()), wins
 
 
 class TestServingSchema:

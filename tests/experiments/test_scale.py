@@ -1,0 +1,92 @@
+"""Tests for the scale-out sweep (``python -m repro scale``)."""
+
+import json
+
+import pytest
+
+from repro.experiments.scale import (
+    format_scale,
+    run_scale,
+    write_scale_json,
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    # Tiny truncated sweep: enough to exercise every cell family
+    # (primary sweep, heap comparison, legacy baseline) quickly.
+    return run_scale(
+        node_counts=(2, 4),
+        strategies=("RECV",),
+        questions_per_node=2,
+        seed=11,
+        baseline_at=(4,),
+    )
+
+
+class TestSweepStructure:
+    def test_schema_and_inputs_recorded(self, summary):
+        assert summary["schema"] == "scale-v1"
+        assert summary["cpu_count"] >= 1
+        assert summary["node_counts"] == [2, 4]
+        assert summary["questions_per_node"] == 2
+
+    def test_cell_families_present(self, summary):
+        kinds = {
+            (c["queue_impl"], c["monitor_shards"] > 0)
+            for c in summary["cells"]
+        }
+        assert ("calendar", True) in kinds  # primary sweep
+        assert ("heap", True) in kinds  # queue comparison
+        assert ("heap", False) in kinds  # pre-sharding baseline
+
+    def test_cells_carry_perf_counters(self, summary):
+        for c in summary["cells"]:
+            assert c["events"] > 0
+            assert c["wall_s"] > 0
+            assert c["events_per_s"] == pytest.approx(
+                c["events"] / c["wall_s"]
+            )
+
+
+class TestCrossCheck:
+    def test_crosscheck_covers_every_swept_size(self, summary):
+        assert [r["n_nodes"] for r in summary["crosscheck"]] == [2, 4]
+
+    def test_relative_error_consistent(self, summary):
+        for row in summary["crosscheck"]:
+            expect = abs(
+                row["measured_speedup"] - row["analytical_speedup"]
+            ) / row["analytical_speedup"]
+            assert row["rel_err"] == pytest.approx(expect)
+            assert row["analytical_speedup"] > 1.0
+
+
+class TestFiringOrderGate:
+    def test_backends_identical_on_seeded_workload(self, summary):
+        assert summary["order_identical"] is True
+        assert summary["ok"] is True
+        for check in summary["order_checks"]:
+            assert check["identical"] is True
+
+    def test_baseline_win_rows_are_complete(self, summary):
+        assert [w["n_nodes"] for w in summary["baseline_wins"]] == [4]
+        w = summary["baseline_wins"][0]
+        assert w["new_events_per_s"] > 0
+        assert w["baseline_events_per_s"] > 0
+        assert isinstance(w["win"], bool)
+
+
+class TestReporting:
+    def test_json_round_trip(self, summary, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        assert write_scale_json(summary, str(path)) == str(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "scale-v1"
+        assert loaded["order_identical"] is True
+
+    def test_format_mentions_the_three_tables(self, summary):
+        text = format_scale(summary)
+        assert "Eq 23 cross-check" in text
+        assert "firing-order gate" in text
+        assert "pre-sharding baseline" in text

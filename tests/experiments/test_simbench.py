@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.simbench import (
     format_simperf,
     run_event_microbench,
+    run_queue_equivalence,
     run_runner_wallclock,
     write_simperf_json,
 )
@@ -22,6 +23,77 @@ class TestEventMicrobench:
         assert m["speedup"] == pytest.approx(
             m["baseline"]["elapsed_s"] / m["fast"]["elapsed_s"]
         )
+
+
+class TestQueueEquivalenceGate:
+    def test_backends_fire_identically(self):
+        g = run_queue_equivalence(n_chains=40, chain_len=12)
+        assert g["ordering_identical"] is True
+        assert g["events"] > 40 * 12
+        assert g["heap"]["elapsed_s"] > 0
+        assert g["calendar"]["elapsed_s"] > 0
+
+
+class TestSingleCoreChaosWarning:
+    def test_warning_only_on_single_core_slowdown(self, monkeypatch):
+        import repro.experiments.simbench as sb
+
+        calls = {}
+        monkeypatch.setattr(
+            sb, "run_event_microbench",
+            lambda **kw: {"ordering_identical": True},
+        )
+        monkeypatch.setattr(
+            sb, "run_queue_equivalence",
+            lambda **kw: {"ordering_identical": True},
+        )
+        monkeypatch.setattr(
+            sb, "run_runner_wallclock", lambda **kw: {"identical": True}
+        )
+        monkeypatch.setattr(
+            sb, "run_index_cache_bench",
+            lambda **kw: {
+                "roundtrip_identical": True, "queries_identical": True
+            },
+        )
+
+        def fake_chaos(**kw):
+            return dict(calls["chaos"])
+
+        monkeypatch.setattr(sb, "run_chaos_wallclock", fake_chaos)
+
+        def summary(speedup, cores):
+            calls["chaos"] = {"identical": True, "speedup": speedup}
+            monkeypatch.setattr(sb.os, "cpu_count", lambda: cores)
+            return sb.run_simbench()
+
+        assert "warning" in summary(0.82, 1)["chaos"]
+        assert "warning" not in summary(1.4, 1)["chaos"]
+        assert "warning" not in summary(0.82, 8)["chaos"]
+
+    def test_format_surfaces_the_warning(self):
+        from repro.experiments.simbench import format_simperf
+
+        base = {
+            "schema": "simperf-v3",
+            "cpu_count": 1,
+            "queue_impl": "heap",
+            "microbench": run_event_microbench(
+                n_chains=10, chain_len=5, repeats=1
+            ),
+            "runner": {
+                "sections": ["table4"], "jobs": 1, "serial_s": 1.0,
+                "parallel_s": 1.0, "speedup": 1.0, "identical": True,
+            },
+            "chaos": {
+                "jobs": 1, "cells": 9, "serial_s": 1.0, "parallel_s": 1.2,
+                "speedup": 0.82, "identical": True,
+                "warning": "parallel chaos speedup 0.82x < 1.0 on a "
+                "single-core runner",
+            },
+            "ok": True,
+        }
+        assert "WARNING" in format_simperf(base)
 
 
 class TestRunnerWallclock:

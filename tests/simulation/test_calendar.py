@@ -1,0 +1,154 @@
+"""Unit tests for the calendar-queue scheduler backend."""
+
+import random
+
+import pytest
+
+from repro.simulation import CalendarQueue, SeqHeap
+
+
+def drain(q):
+    out = []
+    while q:
+        out.append(q.pop())
+    return out
+
+
+class TestOrdering:
+    def test_pops_in_when_prio_seq_order(self):
+        rng = random.Random(7)
+        cal = CalendarQueue()
+        ref = SeqHeap()
+        for i in range(2000):
+            when = rng.choice([rng.random() * 50, rng.random() * 0.01])
+            prio = rng.choice([0, 1])
+            cal.push(f"p{i}", when, prio)
+            ref.push(f"p{i}", when, prio)
+        got = drain(cal)
+        want = [ref.pop() for _ in range(len(ref))]
+        assert got == want
+
+    def test_fifo_among_equal_keys(self):
+        cal = CalendarQueue()
+        for i in range(50):
+            cal.push(i, 3.0, 1)
+        assert [entry[-1] for entry in drain(cal)] == list(range(50))
+
+    def test_urgent_priority_beats_normal_at_same_time(self):
+        cal = CalendarQueue()
+        cal.push("normal", 1.0, 1)
+        cal.push("urgent", 1.0, 0)
+        assert cal.pop()[-1] == "urgent"
+        assert cal.pop()[-1] == "normal"
+
+    def test_interleaved_push_pop_matches_reference(self):
+        rng = random.Random(23)
+        cal = CalendarQueue()
+        ref = SeqHeap()
+        clock = 0.0
+        for i in range(3000):
+            if ref and rng.random() < 0.45:
+                got, want = cal.pop(), ref.pop()
+                assert got == want
+                clock = got[0]
+            else:
+                # Future-only pushes, like a simulation clock produces.
+                when = clock + rng.random() * rng.choice([0.01, 1.0, 100.0])
+                prio = rng.choice([0, 1])
+                cal.push(i, when, prio)
+                ref.push(i, when, prio)
+        while ref:
+            assert cal.pop() == ref.pop()
+        assert not cal
+
+
+class TestInfinity:
+    def test_inf_pops_after_every_finite_event(self):
+        cal = CalendarQueue()
+        cal.push("forever", float("inf"))
+        cal.push("soon", 1.0)
+        cal.push("later", 1e9)
+        assert [e[-1] for e in drain(cal)] == ["soon", "later", "forever"]
+
+    def test_peek_when_on_inf_only(self):
+        cal = CalendarQueue()
+        cal.push("forever", float("inf"))
+        assert cal.peek_when() == float("inf")
+        assert len(cal) == 1
+
+
+class TestEmpty:
+    def test_pop_empty_raises_indexerror(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_peek_when_empty_is_inf(self):
+        assert CalendarQueue().peek_when() == float("inf")
+
+    def test_bool_and_len(self):
+        cal = CalendarQueue()
+        assert not cal and len(cal) == 0
+        cal.push("x", 1.0)
+        assert cal and len(cal) == 1
+
+    def test_non_positive_width_rejected(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(width=-1.0)
+
+
+class TestResizePolicy:
+    def test_grows_with_population(self):
+        cal = CalendarQueue()
+        rng = random.Random(3)
+        for i in range(5000):
+            cal.push(i, rng.random() * 100.0)
+        assert cal.nbuckets > 8
+        assert cal.n_resizes > 0
+
+    def test_width_adapts_to_observed_gaps(self):
+        cal = CalendarQueue(width=1.0)
+        # Events microseconds apart: the 1.0 s default would pile them
+        # all into one bucket; a resize must tighten the width.
+        for i in range(5000):
+            cal.push(i, i * 1e-6)
+        assert cal.width < 1.0
+
+    def test_shrinks_when_drained(self):
+        cal = CalendarQueue()
+        rng = random.Random(5)
+        for i in range(5000):
+            cal.push(i, rng.random() * 100.0)
+        grown = cal.nbuckets
+        out = drain(cal)
+        assert len(out) == 5000
+        assert cal.nbuckets < grown  # a drain-time scan shrank the ring
+
+    def test_same_time_burst_does_not_resize_forever(self):
+        cal = CalendarQueue()
+        for i in range(5000):
+            cal.push(i, 42.0)
+        resizes_before = cal.n_resizes
+        assert [e[-1] for e in drain(cal)] == list(range(5000))
+        # Same-time bursts cannot be split by any width; the occupancy
+        # trigger must not thrash on them.
+        assert cal.n_resizes <= resizes_before + 1
+
+
+class TestSparseYears:
+    def test_far_future_wraparound(self):
+        """Events several ring-laps ahead must still pop in order."""
+        cal = CalendarQueue(width=1.0)  # year = 8 s initially
+        whens = [3.0, 80.0, 800.0, 8000.0, 80000.0]
+        for i, when in enumerate(whens):
+            cal.push(i, when)
+        assert [e[0] for e in drain(cal)] == whens
+
+    def test_push_behind_scan_position_rewinds(self):
+        cal = CalendarQueue(width=1.0)
+        cal.push("far", 1000.0)
+        assert cal.peek_when() == 1000.0  # scan fast-forwarded
+        cal.push("near", 1.0)  # behind the scan position
+        assert cal.pop()[-1] == "near"
+        assert cal.pop()[-1] == "far"

@@ -1,0 +1,213 @@
+"""Engine edge cases pinned identically across both queue backends.
+
+Every test runs under ``queue="heap"`` and ``queue="calendar"`` — the
+calendar queue is only a legal scheduler if the *observable* engine
+behavior (exceptions, peek values, interrupt semantics, firing order)
+is indistinguishable from the heap's.
+"""
+
+import random
+
+import pytest
+
+from repro.simulation import EmptySchedule, Environment, Interrupt
+
+BACKENDS = ["heap", "calendar"]
+
+
+@pytest.fixture(params=BACKENDS)
+def env(request):
+    return Environment(queue=request.param)
+
+
+class TestBackendSelection:
+    def test_queue_impl_property(self):
+        assert Environment(queue="heap").queue_impl == "heap"
+        assert Environment(queue="calendar").queue_impl == "calendar"
+        assert Environment().queue_impl == "heap"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Environment(queue="fibonacci")
+
+
+class TestDrainedQueue:
+    def test_step_on_fresh_env_raises_empty_schedule(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_step_after_draining_raises_empty_schedule(self, env):
+        env.timeout(1.0)
+        env.step()
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek_on_fresh_env_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_after_draining_is_inf(self, env):
+        env.timeout(2.0)
+        env.run()
+        assert env.peek() == float("inf")
+        assert env.now == 2.0
+
+    def test_run_on_empty_env_is_a_noop(self, env):
+        env.run()
+        assert env.now == 0.0
+
+    def test_run_until_past_last_event_advances_to_horizon(self, env):
+        env.timeout(1.0)
+        env.run(until=50.0)
+        assert env.now == 50.0
+
+
+class TestFarFutureTimeouts:
+    def test_bucket_wraparound_fires_in_order(self, env):
+        """Timeouts far beyond any calendar year must fire in order.
+
+        The initial ring is 8 buckets of 1 s — 8 s per lap — so these
+        horizons are thousands of laps apart and exercise the sparse
+        full-lap fallback (a plain no-op on the heap backend).
+        """
+        fired = []
+
+        def waiter(tag, delay):
+            yield env.timeout(delay)
+            fired.append((tag, env.now))
+
+        for tag, delay in [("c", 9e4), ("a", 0.5), ("d", 9e6), ("b", 90.0)]:
+            env.process(waiter(tag, delay))
+        env.run()
+        assert fired == [
+            ("a", 0.5), ("b", 90.0), ("c", 9e4), ("d", 9e6)
+        ]
+
+    def test_near_event_scheduled_after_far_peek(self, env):
+        """Peeking a far-future event then scheduling a near one must not
+        skip the near one (the calendar scan has to rewind)."""
+        fired = []
+
+        def far():
+            yield env.timeout(1000.0)
+            fired.append(("far", env.now))
+
+        def spawner():
+            yield env.timeout(0.0)
+            assert env.peek() == pytest.approx(1000.0)
+
+            def near():
+                yield env.timeout(1.0)
+                fired.append(("near", env.now))
+
+            env.process(near())
+
+        env.process(far())
+        env.process(spawner())
+        env.run()
+        assert fired == [("near", 1.0), ("far", 1000.0)]
+
+
+class TestInterruptWhileScheduled:
+    def test_interrupting_a_sleeping_process(self, env):
+        """An interrupt delivered while the victim's timeout is still in
+        the queue: the victim wakes early and the stale timeout firing
+        must be a harmless no-op."""
+        story = []
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+                story.append("slept-through")
+            except Interrupt as exc:
+                story.append(("interrupted", env.now, exc.cause))
+            yield env.timeout(1.0)
+            story.append(("resumed", env.now))
+
+        v = env.process(victim())
+
+        def killer():
+            yield env.timeout(5.0)
+            v.interrupt("wake up")
+
+        env.process(killer())
+        env.run()
+        assert story == [("interrupted", 5.0, "wake up"), ("resumed", 6.0)]
+        assert env.now == 100.0  # the stale timeout still fired (no-op)
+
+    def test_interrupt_then_far_future_reschedule(self, env):
+        """The interrupted process immediately re-sleeps far in the
+        future — the calendar must file the new timeout correctly while
+        the orphaned one is still pending."""
+        fired = []
+
+        def victim():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                yield env.timeout(5000.0)
+                fired.append(env.now)
+
+        v = env.process(victim())
+
+        def killer():
+            yield env.timeout(1.0)
+            v.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert fired == [5001.0]
+
+
+class TestCrossBackendEquivalence:
+    def _chain_run(self, queue, seed, n_chains=60, chain_len=25):
+        rng = random.Random(seed)
+        delays = [
+            [rng.random() * rng.choice([0.01, 1.0, 50.0])
+             for _ in range(chain_len)]
+            for _ in range(n_chains)
+        ]
+        env = Environment(queue=queue)
+        record = []
+
+        def chain(cid, ds):
+            for hop, d in enumerate(ds):
+                yield env.timeout(d)
+                record.append((cid, hop, env.now))
+
+        for cid, ds in enumerate(delays):
+            env.process(chain(cid, ds))
+        env.run()
+        return record, next(env._seq), env.now
+
+    @pytest.mark.parametrize("seed", [1, 17, 99])
+    def test_firing_logs_byte_identical(self, seed):
+        heap = self._chain_run("heap", seed)
+        calendar = self._chain_run("calendar", seed)
+        assert heap == calendar
+
+    def test_step_driver_matches_run_driver_on_calendar(self):
+        """The public step() path and the inlined run() drain must agree
+        on the calendar backend just as they do on the heap."""
+
+        def collect(drive):
+            env = Environment(queue="calendar")
+            record = []
+
+            def chain(cid):
+                for hop in range(10):
+                    yield env.timeout(0.1 * ((cid + hop) % 7) + 0.01)
+                    record.append((cid, hop, env.now))
+
+            for cid in range(20):
+                env.process(chain(cid))
+            drive(env)
+            return record
+
+        def step_all(env):
+            while True:
+                try:
+                    env.step()
+                except EmptySchedule:
+                    break
+
+        assert collect(step_all) == collect(lambda env: env.run())
