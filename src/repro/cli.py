@@ -29,6 +29,12 @@ scale       weak-scaling sweep to the paper's 1000-node extrapolation
             firing-order gate, and the events/sec comparison against
             the pre-sharding baseline; writes BENCH_scale.json and
             fails if the backends' firing order ever diverges
+select      federated collection selection: exhaustive vs exact vs
+            predictive selector modes on the real pipeline (prune rate,
+            postings-scanned reduction, selector precision/recall) plus
+            the simulated 16->128 node sweep showing partition-comms
+            shrinking; writes BENCH_selection.json and fails if exact
+            mode ever diverges from exhaustive search
 serve       long-lived admission-controlled server over the real
             pipeline: worker processes attach to the shared packed-index
             artifact, questions arrive on stdin, overload is shed with a
@@ -39,9 +45,10 @@ loadgen     drive the server through the Section 6.1 overload protocol
             ``--check-overload``, fails unless overload sheds load,
             accepted-p99 stays bounded, and question conservation holds
 
-``chaos``, ``experiments`` (alias ``exp``) and ``simbench`` accept
-``--jobs N`` (or ``auto``) to run independent experiment cells on a
-process pool; parallel output is byte-identical to serial.
+``chaos``, ``experiments`` (alias ``exp``), ``simbench``, ``scale`` and
+``select`` accept ``--jobs N`` (or ``auto``) to run independent
+experiment cells on a process pool; parallel output is byte-identical
+to serial.
 """
 
 from __future__ import annotations
@@ -276,6 +283,34 @@ def _cmd_scale(args: argparse.Namespace) -> None:
             "scale FAILED: calendar and heap backends fired a seeded "
             "workload in different orders"
         )
+
+
+def _cmd_select(args: argparse.Namespace) -> None:
+    from .experiments.selection import (
+        SelectionConfig,
+        format_selection,
+        run_selection,
+        validate_bench_selection,
+        write_selection_json,
+    )
+
+    config = SelectionConfig(
+        n_questions=args.questions,
+        n_unique=args.unique,
+        predictive_top_k=args.top_k,
+        node_counts=tuple(args.nodes),
+        sim_questions_per_node=args.questions_per_node,
+        sim_seed=args.seed,
+        jobs=args.jobs,
+    )
+    summary = run_selection(config)
+    print(format_selection(summary))
+    out = write_selection_json(summary, args.output)
+    print(f"wrote {out}")
+    try:
+        validate_bench_selection(summary)
+    except ValueError as exc:
+        raise SystemExit(f"select FAILED: {exc}") from exc
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -638,6 +673,42 @@ def main(argv: t.Sequence[str] | None = None) -> None:
         help="where to write the JSON summary",
     )
     scale.set_defaults(func=_cmd_scale)
+
+    select = sub.add_parser(
+        "select",
+        help="federated collection selection: exact/predictive selector "
+        "modes vs exhaustive broadcast",
+    )
+    select.add_argument(
+        "--questions", type=int, default=120,
+        help="Zipf workload length on the real pipeline",
+    )
+    select.add_argument(
+        "--unique", type=int, default=60,
+        help="distinct questions behind the Zipf draw",
+    )
+    select.add_argument(
+        "--top-k", type=int, default=4,
+        help="predictive mode keeps the k best-scoring collections",
+    )
+    select.add_argument(
+        "--nodes", nargs="*", type=int, default=[16, 32, 64, 128],
+        help="simulated cluster sizes for the off-vs-on comms sweep",
+    )
+    select.add_argument(
+        "--questions-per-node", type=int, default=2,
+        help="simulated weak-scaling offered load",
+    )
+    select.add_argument("--seed", type=int, default=11)
+    select.add_argument(
+        "-j", "--jobs", default=None,
+        help="parallel cell workers (integer or 'auto'; default serial)",
+    )
+    select.add_argument(
+        "--output", default="BENCH_selection.json",
+        help="where to write the JSON summary",
+    )
+    select.set_defaults(func=_cmd_select)
 
     serve = sub.add_parser(
         "serve",

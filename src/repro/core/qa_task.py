@@ -471,12 +471,77 @@ class DistributedQATask:
         result.overhead["answer_sort"] += self.system.env.now - t0
 
     # -- PR stage -----------------------------------------------------------------------
+    def _select_collections(
+        self,
+    ) -> t.Generator[Event, object, list[CollectionProfile]]:
+        """Mediator routing before the PR fan-out (collection selection).
+
+        ``collection_selection="off"`` touches nothing — the legacy
+        broadcast, byte-identical to pre-selection builds.  When on, the
+        host charges one sketch probe per sub-collection, then the stage
+        iterates the profile's predicted collections only: the selected
+        count caps the Table 2 iterative granularity, so SEND/ISEND/RECV
+        partition over fewer sub-tasks and the Eq 14/15 partition-comms
+        and migration payloads shrink with it.  A profile predicting
+        nothing falls back to the full fan-out — selection may cost
+        recall, never the question.
+        """
+        profile = self.profile
+        collections = profile.collections
+        config = self.system.config
+        if config.collection_selection == "off":
+            return collections
+        if config.collection_selection != "sketch":
+            raise ValueError(
+                "unknown collection_selection "
+                f"{config.collection_selection!r}, want 'off' or 'sketch'"
+            )
+        env = self.system.env
+        t0 = env.now
+        stage = self._spans.begin(
+            "stage:PR-select",
+            SpanCategory.PARTITION,
+            profile.qid,
+            self.host,
+            env.now,
+            parent=self._root,
+        )
+        probe = self._spans.begin(
+            "select:sketch-probe",
+            SpanCategory.DISPATCH,
+            profile.qid,
+            self.host,
+            env.now,
+            parent=stage,
+        )
+        yield from self._node(self.host).run_cpu(
+            config.selection_probe_cpu_s * len(collections)
+        )
+        self._spans.end(probe, env.now, probed=len(collections))
+        keep = profile.selected_collections
+        selected = collections
+        if keep is not None:
+            keep_set = set(keep)
+            selected = [
+                c for c in collections if c.collection_id in keep_set
+            ] or collections
+        self.result.overhead["pr_select"] = (
+            self.result.overhead.get("pr_select", 0.0) + (env.now - t0)
+        )
+        self._spans.end(
+            stage,
+            env.now,
+            kept=len(selected),
+            pruned=len(collections) - len(selected),
+        )
+        return selected
+
     def _run_pr_stage(self) -> t.Generator[Event, object, None]:
         env = self.system.env
         profile = self.profile
         result = self.result
         policy = self.policy
-        collections = profile.collections
+        collections = yield from self._select_collections()
         pr_compute: dict[int, float] = {}
         ps_compute: dict[int, float] = {}
 

@@ -1,0 +1,463 @@
+"""Collection-selection experiment — ``repro select``.
+
+Measures the federated collection selector (:mod:`repro.retrieval.selection`)
+from both ends of the stack and emits ``BENCH_selection.json``:
+
+* **Real pipeline** — the bench's Zipf workload runs three ways on fresh
+  retriever stacks: exhaustive broadcast, **exact** selection (must be
+  fingerprint-identical to exhaustive — answers, paragraph ranks, work
+  counters — and the summary's ``ok`` flag enforces it), and
+  **predictive** selection (mediator-style scoring; may trade recall for
+  fan-out).  Per mode: q/s, prune rate, ``retrieval.postings_scanned``
+  reduction, and selector quality against ground truth — a collection is
+  *useful* for a question iff exhaustive retrieval pulls at least one
+  paragraph from it, so precision/recall of the selected set and
+  answer agreement are measured, not asserted.
+
+* **Simulated cluster** — a 16 -> 128 node sweep runs the same synthetic
+  workload with ``collection_selection`` off and on (the on-profiles
+  carry a top-k-by-share routing decision whose keep fraction defaults
+  to the *measured* predictive keep rate), attributing traced spans into
+  the compute/dispatch/partition-comms categories: the partition-comms
+  column must shrink with selection on, because SEND/ISEND/RECV now
+  partition over the predicted collections only (Eq 14/15).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import typing as t
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..core import (
+    DistributedQASystem,
+    PartitioningStrategy,
+    Strategy,
+    SystemConfig,
+    TaskPolicy,
+)
+from ..corpus import CorpusConfig, generate_corpus, generate_questions
+from ..nlp.entities import EntityRecognizer
+from ..observability.attribution import attribute_workload
+from ..observability.names import POSTINGS_SCANNED
+from ..qa import QAPipeline, Question
+from ..qa.profiles import SyntheticProfileGenerator, SyntheticProfileParams
+from ..retrieval import IndexedCorpus
+from ..workload import staggered_arrivals
+from .parallel import run_cells
+from .report import TextTable
+from .throughput_bench import _fingerprint, _run_workload
+
+__all__ = [
+    "SelectionConfig",
+    "run_selection",
+    "format_selection",
+    "write_selection_json",
+    "validate_bench_selection",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionConfig:
+    """Knobs of the collection-selection experiment."""
+
+    #: Real-pipeline workload (same construction as ``repro bench``).
+    n_questions: int = 120
+    n_unique: int = 60
+    zipf_exponent: float = 1.1
+    corpus_seed: int = 42
+    workload_seed: int = 7
+    conjunction_cache: int = 256
+    warmup: int = 3
+    #: Predictive-mode cutoffs (see :class:`CollectionSelector`).
+    predictive_top_k: int | None = 4
+    predictive_threshold: float = 0.0
+    #: Simulated sweep: node counts, questions per node, seed.
+    node_counts: tuple[int, ...] = (16, 32, 64, 128)
+    sim_questions_per_node: int = 2
+    sim_seed: int = 11
+    #: Keep fraction of the simulated routing decision; ``None`` = use
+    #: the measured predictive keep rate from the real-pipeline half.
+    sim_selected_fraction: float | None = None
+    #: Parallel sim cells (None = serial; "auto"/int as in other sweeps).
+    jobs: int | str | None = None
+
+
+def _mode_quality(
+    selected_sets: t.Sequence[frozenset[int]],
+    useful_sets: t.Sequence[frozenset[int]],
+) -> dict[str, float]:
+    """Mean precision/recall of selected vs useful collections.
+
+    Questions with no useful collection at all (nothing retrieved
+    anywhere) are skipped for recall and count precision only when the
+    selector kept something — standard mediator-evaluation convention.
+    """
+    precisions: list[float] = []
+    recalls: list[float] = []
+    for sel, useful in zip(selected_sets, useful_sets):
+        if sel:
+            precisions.append(len(sel & useful) / len(sel))
+        if useful:
+            recalls.append(len(sel & useful) / len(useful))
+    return {
+        "precision_mean": (
+            sum(precisions) / len(precisions) if precisions else 1.0
+        ),
+        "recall_mean": sum(recalls) / len(recalls) if recalls else 1.0,
+    }
+
+
+def _sim_cell(
+    spec: tuple[int, str, float | None, int, int, str]
+) -> dict[str, t.Any]:
+    """Pool worker: one traced simulated cell, attributed."""
+    n_nodes, selection, fraction, seed, qpn, ap_strategy = spec
+    n_q = qpn * n_nodes
+    params = SyntheticProfileParams(selected_fraction=fraction)
+    profiles = SyntheticProfileGenerator(params=params, seed=seed).generate_many(
+        n_q
+    )
+    arrivals = staggered_arrivals(n_q, 2.0, seed=seed)
+    system = DistributedQASystem(
+        SystemConfig(
+            n_nodes=n_nodes,
+            strategy=Strategy.DQA,
+            seed=seed,
+            trace=True,
+            collection_selection=selection,
+            policy=TaskPolicy(
+                ap_strategy=PartitioningStrategy[ap_strategy]
+            ),
+        )
+    )
+    report = system.run_workload(profiles, arrivals)
+    att = attribute_workload(system.spans, system.metrics, report, system.config)
+    means = att.category_means()
+    return {
+        "n_nodes": n_nodes,
+        "collection_selection": selection,
+        "selected_fraction": fraction,
+        "ap_strategy": ap_strategy,
+        "n_questions": n_q,
+        "makespan_s": report.makespan_s,
+        "mean_response_s": report.mean_response_s,
+        "partition_comms_mean_s": means["partition_comms"],
+        "dispatch_mean_s": means["dispatch"],
+        "attribution_max_sum_error_s": att.max_sum_error(),
+    }
+
+
+def run_selection(config: SelectionConfig | None = None) -> dict[str, t.Any]:
+    """Run the full experiment and assemble ``BENCH_selection.json``."""
+    config = config or SelectionConfig()
+    corpus = generate_corpus(CorpusConfig(seed=config.corpus_seed))
+    indexed = IndexedCorpus(corpus, conjunction_cache=config.conjunction_cache)
+    recognizer = EntityRecognizer(
+        corpus.knowledge.gazetteer(),
+        extra_nationalities=corpus.knowledge.nationalities,
+    )
+
+    questions = generate_questions(corpus)
+    unique = questions[: max(1, min(config.n_unique, len(questions)))]
+    rng = np.random.default_rng(config.workload_seed)
+    weights = 1.0 / np.arange(1, len(unique) + 1) ** config.zipf_exponent
+    weights /= weights.sum()
+    picks = rng.choice(len(unique), size=config.n_questions, p=weights)
+    workload = [(unique[i].qid, unique[i].text) for i in picks]
+
+    def fresh(selector_mode: str | None) -> QAPipeline:
+        stack = indexed.reconfigured(
+            conjunction_cache=config.conjunction_cache
+        )
+        selector = (
+            None
+            if selector_mode is None
+            else stack.selector(
+                mode=selector_mode,
+                top_k=(
+                    config.predictive_top_k
+                    if selector_mode == "predictive"
+                    else None
+                ),
+                threshold=(
+                    config.predictive_threshold
+                    if selector_mode == "predictive"
+                    else 0.0
+                ),
+            )
+        )
+        return QAPipeline(
+            stack, recognizer, use_term_index=True, selector=selector
+        )
+
+    # -- exhaustive broadcast: the reference column + ground truth ---------
+    exhaustive = fresh(None)
+    exh_results, exh_stats = _run_workload(
+        exhaustive, workload, config.warmup
+    )
+    exh_fingerprints = [_fingerprint(r) for r in exh_results]
+
+    # Ground truth per workload item: which collections actually
+    # contribute paragraphs (recomputed outside the timed runs).
+    useful_sets: list[frozenset[int]] = []
+    processed_cache: dict[str, t.Any] = {}
+    for qid, text in workload:
+        processed = processed_cache.get(text)
+        if processed is None:
+            processed = exhaustive.qp.process(Question(qid=qid, text=text))
+            processed_cache[text] = processed
+        pr = exhaustive.pr.retrieve(processed)
+        useful_sets.append(
+            frozenset(
+                w.collection_id for w in pr.per_collection if w.n_paragraphs
+            )
+        )
+
+    runs: dict[str, dict[str, t.Any]] = {"exhaustive": exh_stats}
+    quality: dict[str, dict[str, t.Any]] = {}
+    mismatches: dict[str, list[int]] = {}
+    keep_rates: dict[str, float] = {}
+    for mode in ("exact", "predictive"):
+        pipeline = fresh(mode)
+        results, stats = _run_workload(pipeline, workload, config.warmup)
+        bad = [
+            i
+            for i, r in enumerate(results)
+            if _fingerprint(r) != exh_fingerprints[i]
+        ]
+        if bad:
+            mismatches[mode] = bad[:20]
+        selector = pipeline.pr.selector
+        selected_sets: list[frozenset[int]] = []
+        prune_rates: list[float] = []
+        fallbacks = 0
+        for _, text in workload:
+            decision = selector.select(
+                list(processed_cache[text].keywords)
+            )
+            selected_sets.append(frozenset(decision.selected))
+            prune_rates.append(decision.prune_rate)
+            fallbacks += decision.fallback
+        agreement = sum(
+            1
+            for a, b in zip(exh_results, results)
+            if [str(ans) for ans in a.answers] == [str(ans) for ans in b.answers]
+        )
+        exh_postings = sum(r.work[POSTINGS_SCANNED] for r in exh_results)
+        mode_postings = sum(r.work[POSTINGS_SCANNED] for r in results)
+        stats["postings_scanned_total"] = mode_postings
+        stats["postings_scanned_reduction"] = (
+            1.0 - mode_postings / exh_postings if exh_postings else 0.0
+        )
+        stats["prune_rate_mean"] = (
+            sum(prune_rates) / len(prune_rates) if prune_rates else 0.0
+        )
+        runs[mode] = stats
+        keep_rates[mode] = 1.0 - stats["prune_rate_mean"]
+        quality[mode] = {
+            **_mode_quality(selected_sets, useful_sets),
+            "answer_agreement": agreement / len(workload),
+            "fallbacks": fallbacks,
+            "sketch_bytes": selector.sketch_bytes(),
+        }
+    runs["exhaustive"]["postings_scanned_total"] = sum(
+        r.work[POSTINGS_SCANNED] for r in exh_results
+    )
+
+    # -- simulated sweep: partition-comms with selection off vs on ----------
+    fraction = config.sim_selected_fraction
+    if fraction is None:
+        fraction = round(keep_rates["predictive"], 2)
+    specs: list[tuple[int, str, float | None, int, int, str]] = []
+    for n in config.node_counts:
+        specs.append((n, "off", fraction, config.sim_seed, config.sim_questions_per_node, "RECV"))
+        specs.append((n, "sketch", fraction, config.sim_seed, config.sim_questions_per_node, "RECV"))
+    cells = run_cells(_sim_cell, specs, jobs=config.jobs)
+    by_key = {
+        (c["n_nodes"], c["collection_selection"]): c for c in cells
+    }
+    sim_rows = []
+    for n in config.node_counts:
+        off = by_key[(n, "off")]
+        on = by_key[(n, "sketch")]
+        sim_rows.append(
+            {
+                "n_nodes": n,
+                "off_partition_comms_mean_s": off["partition_comms_mean_s"],
+                "on_partition_comms_mean_s": on["partition_comms_mean_s"],
+                "partition_comms_reduction": (
+                    1.0
+                    - on["partition_comms_mean_s"]
+                    / off["partition_comms_mean_s"]
+                    if off["partition_comms_mean_s"]
+                    else 0.0
+                ),
+                "off_mean_response_s": off["mean_response_s"],
+                "on_mean_response_s": on["mean_response_s"],
+            }
+        )
+    attribution_ok = all(
+        c["attribution_max_sum_error_s"] < 1e-6 for c in cells
+    )
+    comms_shrinks = all(
+        row["partition_comms_reduction"] > 0.0 for row in sim_rows
+    )
+
+    exact_identical = "exact" not in mismatches
+    return {
+        "schema": "selection-v1",
+        "cpu_count": os.cpu_count(),
+        "config": {
+            **asdict(config),
+            "sim_selected_fraction_effective": fraction,
+        },
+        "workload": {
+            "n_questions": len(workload),
+            "n_unique": len(unique),
+            "zipf_exponent": config.zipf_exponent,
+        },
+        "runs": runs,
+        "quality": quality,
+        "equivalence": {
+            "exact_identical": exact_identical,
+            "n_checked": len(workload),
+            "mismatches": mismatches,
+        },
+        "simulated": {
+            "cells": cells,
+            "rows": sim_rows,
+            "comms_shrinks": comms_shrinks,
+            "attribution_ok": attribution_ok,
+        },
+        "ok": exact_identical and attribution_ok,
+    }
+
+
+def format_selection(summary: dict[str, t.Any]) -> str:
+    """Human-readable report of the selection experiment."""
+    wl = summary["workload"]
+    lines = [
+        "Federated collection selection — prune the PR fan-out",
+        "=" * 53,
+        f"workload: {wl['n_questions']} questions over {wl['n_unique']}"
+        f" unique (Zipf s={wl['zipf_exponent']})",
+        "",
+    ]
+    table = TextTable(
+        "Selector modes on the real pipeline",
+        ["Mode", "q/s", "prune %", "postings", "reduction"],
+    )
+    runs = summary["runs"]
+    for mode in ("exhaustive", "exact", "predictive"):
+        s = runs[mode]
+        table.add_row(
+            mode,
+            f"{s['questions_per_sec']:.2f}",
+            f"{s.get('prune_rate_mean', 0.0) * 100:.1f}",
+            f"{s['postings_scanned_total']:,.0f}",
+            f"{s.get('postings_scanned_reduction', 0.0) * 100:.1f} %",
+        )
+    lines.append(table.render())
+    lines.append("")
+
+    qtable = TextTable(
+        "Selector quality vs exhaustive search",
+        ["Mode", "precision", "recall", "answers agree", "fallbacks"],
+    )
+    for mode, q in summary["quality"].items():
+        qtable.add_row(
+            mode,
+            f"{q['precision_mean']:.3f}",
+            f"{q['recall_mean']:.3f}",
+            f"{q['answer_agreement'] * 100:.1f} %",
+            q["fallbacks"],
+        )
+    lines.append(qtable.render())
+    lines.append("")
+
+    stable = TextTable(
+        "Simulated sweep: partition-comms attribution, selection off vs on",
+        ["N", "off s", "on s", "reduction"],
+    )
+    for row in summary["simulated"]["rows"]:
+        stable.add_row(
+            row["n_nodes"],
+            f"{row['off_partition_comms_mean_s']:.4f}",
+            f"{row['on_partition_comms_mean_s']:.4f}",
+            f"{row['partition_comms_reduction'] * 100:.1f} %",
+        )
+    lines.append(stable.render())
+    lines.append("")
+    eq = summary["equivalence"]
+    lines.append(
+        f"exact mode bit-identical to exhaustive: {eq['exact_identical']}"
+        f" over {eq['n_checked']} questions; ok={summary['ok']}"
+    )
+    return "\n".join(lines)
+
+
+def write_selection_json(
+    summary: dict[str, t.Any], path: str | pathlib.Path = "BENCH_selection.json"
+) -> pathlib.Path:
+    """Write the summary as JSON; returns the path written."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def validate_bench_selection(summary: dict[str, t.Any]) -> None:
+    """Schema contract for ``BENCH_selection.json`` (CI / trend tooling).
+
+    Raises :class:`ValueError` on the first violation.
+    """
+    if summary.get("schema") != "selection-v1":
+        raise ValueError(
+            f"unexpected schema {summary.get('schema')!r}, want 'selection-v1'"
+        )
+    for key in ("config", "workload", "runs", "quality", "equivalence",
+                "simulated", "ok"):
+        if key not in summary:
+            raise ValueError(f"missing top-level key {key!r}")
+    runs = summary["runs"]
+    for mode in ("exhaustive", "exact", "predictive"):
+        if mode not in runs:
+            raise ValueError(f"runs missing mode {mode!r}")
+        for key in ("questions_per_sec", "wall_s", "postings_scanned_total"):
+            if key not in runs[mode]:
+                raise ValueError(f"runs[{mode}] missing {key!r}")
+    for mode in ("exact", "predictive"):
+        if "postings_scanned_reduction" not in runs[mode]:
+            raise ValueError(f"runs[{mode}] missing postings reduction")
+        q = summary["quality"].get(mode)
+        if q is None:
+            raise ValueError(f"quality missing mode {mode!r}")
+        for key in ("precision_mean", "recall_mean", "answer_agreement"):
+            if key not in q:
+                raise ValueError(f"quality[{mode}] missing {key!r}")
+    eq = summary["equivalence"]
+    if not eq.get("exact_identical", False):
+        raise ValueError(
+            "artifact records an exact-mode divergence from exhaustive search"
+        )
+    sim = summary["simulated"]
+    for key in ("cells", "rows", "comms_shrinks", "attribution_ok"):
+        if key not in sim:
+            raise ValueError(f"simulated missing {key!r}")
+    for row in sim["rows"]:
+        for key in (
+            "n_nodes",
+            "off_partition_comms_mean_s",
+            "on_partition_comms_mean_s",
+            "partition_comms_reduction",
+        ):
+            if key not in row:
+                raise ValueError(f"simulated row missing {key!r}")
+    if not sim["attribution_ok"]:
+        raise ValueError("attribution sum invariant violated in a sim cell")
+    if not summary["ok"]:
+        raise ValueError("summary records ok=false")

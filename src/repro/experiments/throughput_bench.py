@@ -32,7 +32,8 @@ import numpy as np
 from ..corpus import CorpusConfig, generate_corpus, generate_questions
 from ..nlp.entities import EntityRecognizer
 from ..nlp.vocabulary import Vocabulary
-from ..qa import QAPipeline, QAResult
+from ..observability.names import POSTINGS_SCANNED
+from ..qa import QAPipeline, QAResult, Question
 from ..retrieval import (
     IndexedCorpus,
     attach_payload,
@@ -75,6 +76,11 @@ class BenchConfig:
     #: a fresh retriever stack and must fingerprint-match the serial
     #: optimized run.
     batch_sizes: tuple[int, ...] = (1, 4, 8, 16, 32)
+    #: Run the exact-selection column (a fresh optimized stack routed by
+    #: an exact :class:`~repro.retrieval.selection.CollectionSelector`) —
+    #: fingerprint-gated against the serial optimized run, reporting the
+    #: measured prune rate.
+    selection: bool = True
 
 
 def _percentile_ms(samples: t.Sequence[float], q: float) -> float:
@@ -301,6 +307,51 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
         if bad:
             batched_mismatches["attached"] = bad[:20]
 
+    # Exact-selection column: same workload on a fresh optimized stack
+    # whose PR fan-out is routed by an exact selector — prunes provably
+    # empty collections, so the fingerprints must still match the serial
+    # optimized run exactly (the four-way equivalence gate).
+    selected: dict[str, t.Any] | None = None
+    selection_mismatches: list[int] = []
+    if config.selection:
+        sel_corpus = indexed.reconfigured(
+            conjunction_cache=config.conjunction_cache
+        )
+        sel_pipeline = QAPipeline(
+            sel_corpus,
+            recognizer,
+            use_term_index=True,
+            selector=sel_corpus.selector(mode="exact"),
+        )
+        sel_results, selected = _run_workload(
+            sel_pipeline, workload, config.warmup
+        )
+        selection_mismatches = [
+            i
+            for i, r in enumerate(sel_results)
+            if _fingerprint(r) != opt_fingerprints[i]
+        ][:20]
+        # Routing decisions are pure functions of the keywords; recount
+        # them outside the timed run for the prune-rate columns.
+        selector = sel_pipeline.pr.selector
+        n_cells = pruned_cells = 0
+        prune_rates: list[float] = []
+        for qid, text in workload:
+            processed = sel_pipeline.qp.process(Question(qid=qid, text=text))
+            decision = selector.select(list(processed.keywords))
+            n_cells += decision.n_collections
+            pruned_cells += len(decision.pruned)
+            prune_rates.append(decision.prune_rate)
+        selected["prune_rate_mean"] = (
+            sum(prune_rates) / len(prune_rates) if prune_rates else 0.0
+        )
+        selected["collections_pruned"] = pruned_cells
+        selected["collections_total"] = n_cells
+        selected["postings_scanned_total"] = float(
+            sum(r.work[POSTINGS_SCANNED] for r in sel_results)
+        )
+        selected["sketch_bytes"] = selector.sketch_bytes()
+
     def _qps(column: str) -> float:
         return batched.get(column, {}).get("questions_per_sec", 0.0)
 
@@ -310,7 +361,7 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
     }
     stats = indexed.total_stats()
     return {
-        "schema": "bench_throughput/v3",
+        "schema": "bench_throughput/v4",
         "config": asdict(config),
         "index": {
             "build_s": index_build_s,
@@ -331,6 +382,7 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
         "baseline": base_stats,
         "optimized": opt_stats,
         "attached": att_stats,
+        "selected": selected,
         "batched": batched,
         "attached_batched": attached_batched,
         "batch_speedup": batch_speedup,
@@ -340,10 +392,15 @@ def run_throughput_bench(config: BenchConfig | None = None) -> dict[str, t.Any]:
             else float("inf")
         ),
         "equivalence": {
-            "equivalent": not mismatches and not batched_mismatches,
+            "equivalent": (
+                not mismatches
+                and not batched_mismatches
+                and not selection_mismatches
+            ),
             "n_checked": len(workload),
             "mismatches": mismatches[:20],
             "batched_mismatches": batched_mismatches,
+            "selection_mismatches": selection_mismatches,
         },
     }
 
@@ -380,7 +437,7 @@ def format_throughput(summary: dict[str, t.Any]) -> str:
     )
     lines.append(header)
     lines.append("-" * len(header))
-    for name in ("baseline", "optimized", "attached"):
+    for name in ("baseline", "optimized", "attached", "selected"):
         s = summary.get(name)
         if s is None:
             continue
@@ -389,6 +446,13 @@ def format_throughput(summary: dict[str, t.Any]) -> str:
             f" {s['latency_ms']['p50']:>8.2f} | {s['latency_ms']['p95']:>8.2f} |"
             f" {s['modules']['ps']['p50_ms']:>9.3f} |"
             f" {s['modules']['ap']['p50_ms']:>9.3f}"
+        )
+    sel = summary.get("selected")
+    if sel:
+        lines.append(
+            f"exact selection: prune rate {sel['prune_rate_mean'] * 100:.1f} %"
+            f" ({sel['collections_pruned']}/{sel['collections_total']}"
+            f" collections), sketches {sel['sketch_bytes'] / 1e3:.1f} kB"
         )
     batched = summary.get("batched") or {}
     if batched:
@@ -430,10 +494,11 @@ def validate_bench_throughput(summary: dict[str, t.Any]) -> None:
 
     Guards the contract downstream consumers (CI smoke asserts, the
     benchmark report, trend tooling) rely on: the version string, the
-    serial columns, and since v3 the batched columns with their sharing
-    stats and the extended equivalence gate.
+    serial columns, since v3 the batched columns with their sharing
+    stats, and since v4 the exact-selection column with its prune-rate
+    stats and the four-way equivalence gate.
     """
-    if summary.get("schema") != "bench_throughput/v3":
+    if summary.get("schema") != "bench_throughput/v4":
         raise ValueError(f"unexpected schema: {summary.get('schema')!r}")
     for key in ("config", "index", "workload", "equivalence", "speedup"):
         if key not in summary:
@@ -459,8 +524,28 @@ def validate_bench_throughput(summary: dict[str, t.Any]) -> None:
                 raise ValueError(f"batched[{column}] missing {key}")
     if "batch_speedup" not in summary:
         raise ValueError("v3 summary must carry 'batch_speedup'")
+    if "selected" not in summary:
+        raise ValueError("v4 summary must carry a 'selected' column")
+    sel = summary["selected"]
+    if sel is not None:
+        for key in (
+            "questions_per_sec",
+            "prune_rate_mean",
+            "collections_pruned",
+            "collections_total",
+            "postings_scanned_total",
+            "sketch_bytes",
+        ):
+            if key not in sel:
+                raise ValueError(f"selected missing {key}")
     eq = summary["equivalence"]
-    for key in ("equivalent", "n_checked", "mismatches", "batched_mismatches"):
+    for key in (
+        "equivalent",
+        "n_checked",
+        "mismatches",
+        "batched_mismatches",
+        "selection_mismatches",
+    ):
         if key not in eq:
             raise ValueError(f"equivalence missing {key}")
 

@@ -116,8 +116,12 @@ class _QuestionRecord:
     #: Raw words passed through the shared stem cache (QP + AP).
     stem_trace: list[str]
     #: Conjunction keys per relaxation round, per collection — the
-    #: conjunction-cache replay script.
+    #: conjunction-cache replay script.  Pruned (unvisited) collections
+    #: hold an empty list: their replay is a no-op, exactly matching
+    #: serial execution under the same selector.
     rounds_per_collection: list[list[tuple[str, ...]]]
+    #: The collection selector's routing decision (None = broadcast).
+    decision: t.Any = None
     #: The (deterministic) outputs to reuse.
     answers: list[t.Any] = field(default_factory=list)
     n_retrieved: int = 0
@@ -143,10 +147,34 @@ def _answer_first(
         pr_result = PRResult(paragraphs=[])
         rounds_per_collection: list[list[tuple[str, ...]]] = []
         keywords = list(processed.keywords)
+        # Collection selection runs once per *distinct* question; its
+        # decision (and synthesized work, in exact mode) is recorded so
+        # duplicates reuse it without re-scoring the sketches.
+        selector = pipeline.pr.selector
+        decision = selector.select(keywords) if selector is not None else None
+        selected = set(decision.selected) if decision is not None else None
+        synthesized = (
+            {w.collection_id: w for w in decision.synthesized}
+            if decision is not None
+            else {}
+        )
         for cid in range(indexed.n_collections):
             rounds: list[tuple[str, ...]] = []
-            r = indexed.retrievers[cid].retrieve(keywords, round_trace=rounds)
             rounds_per_collection.append(rounds)
+            if selected is not None and cid not in selected:
+                pruned = synthesized.get(cid)
+                if pruned is not None:
+                    pr_result.per_collection.append(
+                        CollectionWork(
+                            collection_id=cid,
+                            n_paragraphs=0,
+                            postings_scanned=pruned.postings_scanned,
+                            doc_bytes_read=0,
+                            relaxation_rounds=pruned.relaxation_rounds,
+                        )
+                    )
+                continue
+            r = indexed.retrievers[cid].retrieve(keywords, round_trace=rounds)
             pr_result.paragraphs.extend(r.paragraphs)
             pr_result.per_collection.append(
                 CollectionWork(
@@ -190,6 +218,7 @@ def _answer_first(
     work[N_KEYWORDS] = float(len(processed.keywords))
     if pipeline.metrics is not None:
         pipeline._record(work)
+        pipeline._record_selection(decision)
 
     result = QAResult(
         processed=processed,
@@ -204,6 +233,7 @@ def _answer_first(
         processed=processed,
         stem_trace=stem_trace,
         rounds_per_collection=rounds_per_collection,
+        decision=decision,
         answers=answers,
         n_retrieved=result.n_retrieved,
         n_accepted=result.n_accepted,
@@ -249,6 +279,7 @@ def _answer_repeat(
     work = dict(record.work)
     if pipeline.metrics is not None:
         pipeline._record(work)
+        pipeline._record_selection(record.decision)
     return QAResult(
         processed=processed,
         answers=list(record.answers),

@@ -6,6 +6,16 @@ bottleneck (80 % disk time, Table 3) and is *iterative at collection
 granularity* (Table 2) — `retrieve` therefore accepts an explicit subset
 of collection ids, which is exactly the interface the distributed system's
 partitioners drive.
+
+When constructed with a :class:`~repro.retrieval.selection.CollectionSelector`,
+the fan-out is routed instead of broadcast: an **exact** selector prunes
+only provably-empty collections and synthesizes their logical work from
+the sketch (the :class:`PRResult` — paragraphs, per-collection work,
+counter totals — is bit-identical to exhaustive retrieval); a
+**predictive** selector visits only the collections it scored in, so its
+results may differ from exhaustive search.  Explicit ``collection_ids``
+always bypass the selector — a partitioner that asks for collection 3
+gets collection 3.
 """
 
 from __future__ import annotations
@@ -13,11 +23,18 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass, field
 
+from ..nlp.keywords import Keyword
 from ..retrieval.collection import IndexedCorpus
 from ..retrieval.paragraphs import Paragraph
+from ..retrieval.selection import CollectionSelector, SelectionDecision
 from .question import ProcessedQuestion
 
-__all__ = ["CollectionWork", "PRResult", "ParagraphRetriever"]
+__all__ = [
+    "CollectionWork",
+    "PRResult",
+    "ParagraphRetriever",
+    "resolve_collections",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,11 +64,42 @@ class PRResult:
         return sum(w.doc_bytes_read for w in self.per_collection)
 
 
+def resolve_collections(
+    n_collections: int,
+    collection_ids: t.Sequence[int] | None,
+    selector: CollectionSelector | None = None,
+    keywords: t.Sequence[Keyword] | None = None,
+) -> tuple[list[int], SelectionDecision | None]:
+    """The one place the PR fan-out is decided.
+
+    Explicit ``collection_ids`` always win (partitioners drive exact
+    subsets); otherwise the selector routes the question's keywords, and
+    with no selector the legacy default — every collection — applies.
+    Returns the collection ids to visit plus the selector's decision
+    (``None`` when no selection happened).
+    """
+    if collection_ids is not None:
+        return list(collection_ids), None
+    if selector is None or keywords is None:
+        return list(range(n_collections)), None
+    decision = selector.select(keywords)
+    return list(decision.selected), decision
+
+
 class ParagraphRetriever:
     """The PR module."""
 
-    def __init__(self, indexed: IndexedCorpus) -> None:
+    def __init__(
+        self,
+        indexed: IndexedCorpus,
+        selector: CollectionSelector | None = None,
+    ) -> None:
         self.indexed = indexed
+        self.selector = selector
+        #: The selector's decision for the most recent :meth:`retrieve`
+        #: call (``None`` when no selection happened) — pipelines read
+        #: this to record ``retrieval.selector.*`` metrics.
+        self.last_decision: SelectionDecision | None = None
 
     @property
     def n_collections(self) -> int:
@@ -68,11 +116,35 @@ class ParagraphRetriever:
         the RECV partitioner exploits by letting under-loaded processors
         pull one collection at a time (Fig 7a).
         """
-        if collection_ids is None:
-            collection_ids = range(self.indexed.n_collections)
+        keywords = list(processed.keywords)
+        ids, decision = resolve_collections(
+            self.indexed.n_collections, collection_ids, self.selector, keywords
+        )
+        self.last_decision = decision
+        synthesized = (
+            {w.collection_id: w for w in decision.synthesized}
+            if decision is not None
+            else {}
+        )
+        # Exact-mode pruned collections report their (provably empty)
+        # work in collection order, interleaved with the visited ones, so
+        # per_collection reads identically to exhaustive retrieval.
+        visit = sorted({*ids, *synthesized}) if synthesized else ids
         result = PRResult(paragraphs=[])
-        for cid in collection_ids:
-            r = self.indexed.retrieve_collection(cid, list(processed.keywords))
+        for cid in visit:
+            work = synthesized.get(cid)
+            if work is not None:
+                result.per_collection.append(
+                    CollectionWork(
+                        collection_id=cid,
+                        n_paragraphs=0,
+                        postings_scanned=work.postings_scanned,
+                        doc_bytes_read=0,
+                        relaxation_rounds=work.relaxation_rounds,
+                    )
+                )
+                continue
+            r = self.indexed.retrieve_collection(cid, keywords)
             result.paragraphs.extend(r.paragraphs)
             result.per_collection.append(
                 CollectionWork(

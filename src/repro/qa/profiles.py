@@ -38,6 +38,7 @@ from .question import Question
 from .question_processing import QuestionProcessor
 
 if t.TYPE_CHECKING:  # pragma: no cover
+    from ..retrieval.selection import CollectionSelector
     from .pipeline import QAPipeline
 
 __all__ = [
@@ -87,6 +88,10 @@ class QuestionProfile:
     n_answers: int
     answer_bytes: float
     memory_bytes: float
+    #: Mediator routing decision (collection ids the selector kept);
+    #: ``None`` = no selection ran — the PR fan-out broadcasts.  Only
+    #: honoured when ``SystemConfig.collection_selection`` is on.
+    selected_collections: tuple[int, ...] | None = None
 
     # -- aggregates used all over the experiments -------------------------------
     @property
@@ -141,17 +146,25 @@ def profile_question(
     question: Question | str,
     model: CostModel,
     qid: int = 0,
+    selector: "CollectionSelector | None" = None,
 ) -> QuestionProfile:
     """Execute the real pipeline and convert its work into a profile.
 
     Runs the modules individually (rather than ``pipeline.answer``) to
-    capture per-collection and per-paragraph work detail.
+    capture per-collection and per-paragraph work detail.  When a
+    ``selector`` is given, its routing decision for the question's
+    keywords is carried on the profile as ``selected_collections`` (the
+    per-collection work detail stays exhaustive, so the same profile can
+    simulate selection on and off).
     """
     if isinstance(question, str):
         question = Question(qid=qid, text=question)
 
     processed = pipeline.qp.process(question)
     qp_cost = model.qp_cost(len(processed.keywords))
+    selected: tuple[int, ...] | None = None
+    if selector is not None:
+        selected = selector.select(list(processed.keywords)).selected
 
     collections: list[CollectionProfile] = []
     all_scored = []
@@ -208,6 +221,7 @@ def profile_question(
         n_answers=pipeline.ap.n_answers,
         answer_bytes=model.answer_bytes,
         memory_bytes=float(rng.uniform(mem_lo, mem_hi)),
+        selected_collections=selected,
     )
 
 
@@ -246,6 +260,13 @@ class SyntheticProfileParams:
     qp_cpu_range: tuple[float, float] = (0.7, 1.3)
     po_cpu_s: float = 0.06
     n_answers: int = 5
+    #: Simulated mediator decision: keep the top ``round(fraction * n)``
+    #: collections by PR share (the heaviest collections are the ones a
+    #: df-weighted selector keeps).  ``None`` = profiles carry no
+    #: selection — the fan-out broadcasts.  Derived from the existing
+    #: Dirichlet draw, so the RNG sequence (and every other field) is
+    #: unchanged by turning this on.
+    selected_fraction: float | None = None
 
     def scaled(self, factor: float) -> "SyntheticProfileParams":
         """Scale the work-size parameters by ``factor`` (keeps shapes)."""
@@ -365,6 +386,18 @@ class SyntheticProfileGenerator:
                 )
             )
 
+        selected: tuple[int, ...] | None = None
+        if p.selected_fraction is not None:
+            k = max(1, round(p.selected_fraction * p.n_collections))
+            if k < p.n_collections:
+                ranked = sorted(
+                    range(p.n_collections),
+                    key=lambda cid: (-shares[cid], cid),
+                )
+                selected = tuple(sorted(ranked[:k]))
+            else:
+                selected = tuple(range(p.n_collections))
+
         mem_lo, mem_hi = self.model.memory_per_question
         return QuestionProfile(
             qid=qid,
@@ -378,6 +411,7 @@ class SyntheticProfileGenerator:
             n_answers=p.n_answers,
             answer_bytes=self.model.answer_bytes,
             memory_bytes=float(rng.uniform(mem_lo, mem_hi)),
+            selected_collections=selected,
         )
 
     def generate_many(self, n: int, start_qid: int = 0) -> list[QuestionProfile]:

@@ -13,24 +13,40 @@ from .inverted_index import (
 from .packing import attach_payload, indexes_to_payload, memory_footprint
 from .paragraphs import Paragraph, split_paragraphs
 from .prediction import QueryCostEstimate, predict_pr_cost, predict_pr_cost_corpus
+from .selection import (
+    SELECTION_MODES,
+    CollectionSelector,
+    CollectionSketch,
+    PrunedWork,
+    SelectionDecision,
+    build_sketch,
+    sketch_of,
+)
 
 __all__ = [
     "QueryCostEstimate",
     "predict_pr_cost",
     "predict_pr_cost_corpus",
+    "SELECTION_MODES",
     "BooleanRetriever",
     "CollectionIndex",
+    "CollectionSelector",
+    "CollectionSketch",
     "IndexBuffers",
     "IndexStats",
     "IndexedCorpus",
     "Paragraph",
     "ParagraphTerms",
+    "PrunedWork",
     "RetrievalResult",
+    "SelectionDecision",
     "SharedPostings",
     "StemCache",
     "StemSetView",
     "attach_payload",
+    "build_sketch",
     "indexes_to_payload",
     "memory_footprint",
+    "sketch_of",
     "split_paragraphs",
 ]

@@ -23,6 +23,7 @@ from ..nlp.stemming import SHARED_STEM_CACHE, StemCache
 from .boolean import BooleanRetriever, RetrievalResult
 from .inverted_index import CollectionIndex, ParagraphTerms
 from .paragraphs import Paragraph
+from .selection import CollectionSelector, CollectionSketch, sketch_of
 
 __all__ = ["IndexedCorpus"]
 
@@ -118,6 +119,28 @@ class IndexedCorpus:
             self.retrieve_collection(cid, keywords)
             for cid in range(self.n_collections)
         ]
+
+    def sketches(self) -> list[CollectionSketch]:
+        """Per-sub-collection term-statistic sketches (cached on the
+        indexes, shared with the disk-cache artifact)."""
+        return [sketch_of(ix) for ix in self.indexes]
+
+    def selector(
+        self,
+        mode: str = "exact",
+        top_k: int | None = None,
+        threshold: float = 0.0,
+    ) -> CollectionSelector:
+        """A :class:`CollectionSelector` over this corpus's sketches."""
+        if not self.indexes:
+            raise ValueError("cannot build a selector over zero collections")
+        return CollectionSelector(
+            self.sketches(),
+            self.indexes[0].vocab,
+            mode=mode,
+            top_k=top_k,
+            threshold=threshold,
+        )
 
     def term_lookup(self, paragraph: Paragraph) -> ParagraphTerms | None:
         """Precomputed term view of ``paragraph`` (the PS/AP fast path)."""

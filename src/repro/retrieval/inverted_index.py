@@ -375,6 +375,9 @@ class CollectionIndex:
     def _attach(self, collection: SubCollection, buffers: IndexBuffers) -> None:
         """Derive all runtime views and lookup tables from ``buffers``."""
         self.buffers = buffers
+        # Lazily-built term-statistic sketch (repro.retrieval.selection);
+        # payload attach pre-populates it when the artifact carries one.
+        self._sketch = None
         self._views = _TermViews(buffers, self.vocab)
         self._pset = memoryview(buffers.pset_ids).toreadonly()
         self._p_docs = memoryview(buffers.p_docs).toreadonly()

@@ -37,6 +37,7 @@ from ..nlp.tokenizer import Token
 from ..nlp.vocabulary import SHARED_VOCABULARY, Vocabulary
 from .inverted_index import CollectionIndex, IndexBuffers
 from .paragraphs import Paragraph
+from .selection import CollectionSketch, sketch_of
 
 __all__ = [
     "PAYLOAD_SCHEMA",
@@ -71,10 +72,38 @@ def indexes_to_payload(
                 "buffers": {
                     name: getattr(ix.buffers, name) for name in _BUFFER_FIELDS
                 },
+                "sketch": _sketch_entry(sketch_of(ix)),
             }
             for ix in indexes
         ],
     }
+
+
+def _sketch_entry(sketch: CollectionSketch) -> dict[str, t.Any]:
+    """Picklable form of one collection's term-statistic sketch."""
+    return {
+        "stem_ids": sketch.stem_ids,
+        "dfs": sketch.dfs,
+        "pfs": sketch.pfs,
+        "n_documents": sketch.n_documents,
+        "n_paragraphs": sketch.n_paragraphs,
+    }
+
+
+def _sketch_from_entry(
+    collection_id: int,
+    raw: dict[str, t.Any],
+    mapping: t.Sequence[int] | None,
+) -> CollectionSketch:
+    sketch = CollectionSketch(
+        collection_id=collection_id,
+        stem_ids=raw["stem_ids"],
+        dfs=raw["dfs"],
+        pfs=raw["pfs"],
+        n_documents=raw["n_documents"],
+        n_paragraphs=raw["n_paragraphs"],
+    )
+    return sketch.remapped(mapping) if mapping is not None else sketch
 
 
 def _copy_buffers(raw: dict[str, array]) -> IndexBuffers:
@@ -143,12 +172,17 @@ def attach_payload(
         raise ValueError("index payload does not cover the corpus collections")
     indexes: list[CollectionIndex] = []
     for collection in corpus.collections:
-        buffers = _copy_buffers(by_id[collection.collection_id]["buffers"])
+        entry = by_id[collection.collection_id]
+        buffers = _copy_buffers(entry["buffers"])
         if mapping is not None:
             _remap_buffers(buffers, mapping)
-        indexes.append(
-            CollectionIndex.from_buffers(collection, buffers, vocabulary=vocab)
-        )
+        index = CollectionIndex.from_buffers(collection, buffers, vocabulary=vocab)
+        # Older artifacts carry no sketch; leave it to lazy derivation.
+        if "sketch" in entry:
+            index._sketch = _sketch_from_entry(
+                collection.collection_id, entry["sketch"], mapping
+            )
+        indexes.append(index)
     return indexes
 
 

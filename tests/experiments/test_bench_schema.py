@@ -15,6 +15,7 @@ import pathlib
 import pytest
 
 from repro.experiments.scale import validate_bench_scale
+from repro.experiments.selection import validate_bench_selection
 from repro.experiments.throughput_bench import validate_bench_throughput
 from repro.serving import validate_bench_serving
 
@@ -96,6 +97,40 @@ class TestScaleSchema:
             w["n_nodes"]: w["win"] for w in scale_summary["baseline_wins"]
         }
         assert any(n >= 256 and won for n, won in wins.items()), wins
+
+
+@pytest.fixture(scope="module")
+def selection_summary():
+    return json.loads((_ROOT / "BENCH_selection.json").read_text())
+
+
+class TestSelectionSchema:
+    def test_checked_in_artifact_validates(self, selection_summary):
+        validate_bench_selection(selection_summary)
+
+    def test_rejects_old_schema_version(self, selection_summary):
+        bad = copy.deepcopy(selection_summary)
+        bad["schema"] = "selection-v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_selection(bad)
+
+    def test_checked_in_exact_mode_is_identical_and_prunes(
+        self, selection_summary
+    ):
+        assert selection_summary["equivalence"]["exact_identical"]
+        assert selection_summary["runs"]["exact"]["prune_rate_mean"] > 0.0
+        assert selection_summary["quality"]["exact"]["recall_mean"] == 1.0
+
+    def test_checked_in_predictive_reduces_postings(self, selection_summary):
+        runs = selection_summary["runs"]
+        assert runs["predictive"]["postings_scanned_reduction"] > 0.0
+
+    def test_checked_in_simulated_comms_shrink(self, selection_summary):
+        sim = selection_summary["simulated"]
+        assert sim["comms_shrinks"]
+        assert all(
+            row["partition_comms_reduction"] > 0.0 for row in sim["rows"]
+        )
 
 
 class TestServingSchema:

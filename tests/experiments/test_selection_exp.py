@@ -1,0 +1,87 @@
+"""Tests for the collection-selection experiment (``python -m repro select``)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.selection import (
+    SelectionConfig,
+    format_selection,
+    run_selection,
+    validate_bench_selection,
+    write_selection_json,
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    # Tiny run: enough to exercise all three real-pipeline modes and an
+    # off-vs-on simulated pair, quickly.
+    return run_selection(
+        SelectionConfig(
+            n_questions=16,
+            n_unique=8,
+            warmup=1,
+            node_counts=(4,),
+            sim_questions_per_node=1,
+        )
+    )
+
+
+class TestStructure:
+    def test_validates_and_ok(self, summary):
+        validate_bench_selection(summary)
+        assert summary["ok"]
+
+    def test_exact_mode_is_identical_and_prunes(self, summary):
+        assert summary["equivalence"]["exact_identical"]
+        assert "exact" not in summary["equivalence"]["mismatches"]
+        q = summary["quality"]["exact"]
+        assert q["precision_mean"] <= 1.0
+        assert q["recall_mean"] == 1.0  # exact never prunes a useful collection
+        assert q["answer_agreement"] == 1.0
+
+    def test_predictive_reports_quality_not_identity(self, summary):
+        q = summary["quality"]["predictive"]
+        assert 0.0 <= q["answer_agreement"] <= 1.0
+        assert 0.0 <= q["recall_mean"] <= 1.0
+        assert summary["runs"]["predictive"]["postings_scanned_total"] <= (
+            summary["runs"]["exhaustive"]["postings_scanned_total"]
+        )
+
+    def test_simulated_rows_cover_node_counts(self, summary):
+        rows = summary["simulated"]["rows"]
+        assert [r["n_nodes"] for r in rows] == [4]
+        assert summary["simulated"]["attribution_ok"]
+
+    def test_json_round_trip(self, summary, tmp_path):
+        path = write_selection_json(summary, tmp_path / "BENCH_selection.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(summary, sort_keys=True)
+        )
+
+    def test_format_mentions_all_modes(self, summary):
+        text = format_selection(summary)
+        for token in ("exhaustive", "exact", "predictive", "partition-comms"):
+            assert token in text
+
+
+class TestValidatorRejects:
+    def test_rejects_wrong_schema(self, summary):
+        bad = copy.deepcopy(summary)
+        bad["schema"] = "selection-v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_selection(bad)
+
+    def test_rejects_recorded_divergence(self, summary):
+        bad = copy.deepcopy(summary)
+        bad["equivalence"]["exact_identical"] = False
+        with pytest.raises(ValueError, match="divergence"):
+            validate_bench_selection(bad)
+
+    def test_rejects_missing_quality(self, summary):
+        bad = copy.deepcopy(summary)
+        del bad["quality"]["predictive"]
+        with pytest.raises(ValueError, match="predictive"):
+            validate_bench_selection(bad)

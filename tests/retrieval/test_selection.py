@@ -1,0 +1,274 @@
+"""Tests for federated collection selection (repro.retrieval.selection).
+
+The exact mode's contract is the load-bearing one: with the selector on,
+every answer, paragraph rank, and work counter must be bit-identical to
+exhaustive broadcast — pruning may only remove provably-empty collection
+visits and synthesize their logical work.  Predictive mode's contract is
+weaker (it may lose recall, never questions: empty selections fall back
+to exhaustive).  The sketch itself must survive the v2 payload round
+trip, including the remap path under a non-prefix vocabulary.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+
+import pytest
+
+from repro.corpus.generator import Document, SubCollection
+from repro.nlp.vocabulary import Vocabulary
+from repro.qa import QAPipeline, Question
+from repro.qa.paragraph_retrieval import resolve_collections
+from repro.retrieval import IndexedCorpus
+from repro.retrieval.inverted_index import CollectionIndex
+from repro.retrieval.packing import attach_payload, indexes_to_payload
+from repro.retrieval.selection import (
+    CollectionSelector,
+    CollectionSketch,
+    build_sketch,
+    sketch_of,
+)
+
+
+def _fingerprint(result):
+    return (
+        tuple(
+            (a.text, a.short, a.long, a.score, a.paragraph_key)
+            for a in result.answers
+        ),
+        result.n_retrieved,
+        result.n_accepted,
+        result.paragraph_ranks,
+        tuple(sorted(result.work.items())),
+    )
+
+
+@pytest.fixture(scope="module")
+def recognizer(shared_corpus):
+    from repro.nlp import EntityRecognizer
+
+    return EntityRecognizer(
+        shared_corpus.knowledge.gazetteer(),
+        extra_nationalities=shared_corpus.knowledge.nationalities,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(shared_questions):
+    return [(q.qid, q.text) for q in shared_questions[:25]]
+
+
+# -- exact mode: bit-identity is the whole point -----------------------------------
+
+
+def test_exact_mode_bit_identical_and_actually_prunes(
+    shared_indexed_corpus, recognizer, workload
+):
+    plain = QAPipeline(shared_indexed_corpus.reconfigured(), recognizer)
+    routed_stack = shared_indexed_corpus.reconfigured()
+    routed = QAPipeline(
+        routed_stack,
+        recognizer,
+        selector=routed_stack.selector(mode="exact"),
+    )
+    pruned_total = 0
+    for qid, text in workload:
+        a = plain.answer(text, qid=qid)
+        b = routed.answer(text, qid=qid)
+        assert _fingerprint(a) == _fingerprint(b), text
+        assert routed.pr.last_decision is not None
+        pruned_total += len(routed.pr.last_decision.pruned)
+    # The equivalence must not be vacuous: the shared 3-collection corpus
+    # is heterogeneous enough that some questions provably skip some
+    # collections.
+    assert pruned_total > 0
+
+
+def test_exact_batch_equals_serial_with_selector(
+    shared_indexed_corpus, recognizer, workload
+):
+    stack_a = shared_indexed_corpus.reconfigured()
+    serial = QAPipeline(
+        stack_a, recognizer, selector=stack_a.selector(mode="exact")
+    )
+    stack_b = shared_indexed_corpus.reconfigured()
+    batched = QAPipeline(
+        stack_b, recognizer, selector=stack_b.selector(mode="exact")
+    )
+    texts = [text for _, text in workload]
+    qids = [qid for qid, _ in workload]
+    serial_results = [
+        serial.answer(text, qid=qid) for qid, text in workload
+    ]
+    batch_results = batched.answer_batch(texts, qids=qids)
+    for a, b in zip(serial_results, batch_results):
+        assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_exact_synthesized_work_matches_real_retrieval(
+    shared_indexed_corpus, shared_pipeline, workload
+):
+    """The synthesized charge equals what really visiting would report."""
+    selector = shared_indexed_corpus.selector(mode="exact")
+    checked = 0
+    for qid, text in workload:
+        processed = shared_pipeline.qp.process(Question(qid=qid, text=text))
+        keywords = list(processed.keywords)
+        decision = selector.select(keywords)
+        if not decision.synthesized:
+            continue
+        pr = shared_pipeline.pr.retrieve(processed)
+        real = {w.collection_id: w for w in pr.per_collection}
+        for syn in decision.synthesized:
+            work = real[syn.collection_id]
+            assert work.n_paragraphs == 0
+            assert work.doc_bytes_read == 0
+            assert work.postings_scanned == syn.postings_scanned
+            assert work.relaxation_rounds == syn.relaxation_rounds
+            checked += 1
+    assert checked > 0
+
+
+# -- predictive mode ---------------------------------------------------------------
+
+
+def test_predictive_zero_hit_falls_back_to_exhaustive(shared_indexed_corpus):
+    from repro.nlp.keywords import Keyword
+
+    selector = shared_indexed_corpus.selector(mode="predictive", top_k=2)
+    ghost = Keyword(
+        text="xyzzyplugh", stems=("xyzzyplugh",), priority=0, is_phrase=False
+    )
+    decision = selector.select([ghost])
+    assert decision.fallback
+    assert decision.selected == tuple(
+        range(shared_indexed_corpus.n_collections)
+    )
+    assert decision.pruned == ()
+
+
+def test_predictive_top_k_bounds_the_fanout(
+    shared_indexed_corpus, shared_pipeline, workload
+):
+    selector = shared_indexed_corpus.selector(mode="predictive", top_k=1)
+    for qid, text in workload:
+        processed = shared_pipeline.qp.process(Question(qid=qid, text=text))
+        decision = selector.select(list(processed.keywords))
+        if decision.fallback:
+            continue
+        assert len(decision.selected) <= 1
+
+
+def test_selector_validates_inputs(shared_indexed_corpus):
+    with pytest.raises(ValueError, match="mode"):
+        shared_indexed_corpus.selector(mode="oracle")
+    with pytest.raises(ValueError, match="top_k"):
+        shared_indexed_corpus.selector(mode="predictive", top_k=0)
+    with pytest.raises(ValueError, match="threshold"):
+        shared_indexed_corpus.selector(mode="predictive", threshold=1.5)
+
+
+# -- sketches: empty collections, payload round trip, remap ------------------------
+
+
+def test_empty_subcollection_sketch_prunes_everywhere():
+    docs = [
+        Document(
+            doc_id=0, collection_id=0, title="d0",
+            text="alpha beta gamma recall",
+        )
+    ]
+    full = CollectionIndex(SubCollection(collection_id=0, documents=docs))
+    vocab = full.vocab
+    empty = CollectionIndex(
+        SubCollection(collection_id=1, documents=[]), vocabulary=vocab
+    )
+    sk = build_sketch(empty)
+    assert len(sk) == 0 and sk.n_documents == 0 and sk.n_paragraphs == 0
+
+    from repro.nlp.keywords import Keyword
+    from repro.nlp.stemming import cached_stem
+
+    kw = Keyword(
+        text="alpha", stems=(cached_stem("alpha"),), priority=0, is_phrase=False
+    )
+    exact = CollectionSelector(
+        [build_sketch(full), sk], vocab, mode="exact"
+    )
+    decision = exact.select([kw])
+    assert 1 in decision.pruned  # nothing can match an empty collection
+    syn = {w.collection_id: w for w in decision.synthesized}
+    assert syn[1].postings_scanned == 0
+
+    predictive = CollectionSelector(
+        [build_sketch(full), sk], vocab, mode="predictive"
+    )
+    p = predictive.select([kw])
+    assert p.selected == (0,) and p.pruned == (1,)
+
+
+def test_sketch_rides_the_payload_and_attach_prepopulates(
+    shared_corpus, shared_indexed_corpus
+):
+    payload = indexes_to_payload(shared_indexed_corpus.indexes)
+    for entry in payload["collections"]:
+        assert "sketch" in entry
+    blob = pickle.dumps(payload)
+    attached = attach_payload(shared_corpus, pickle.loads(blob))
+    for ix, fresh_ix in zip(attached, shared_indexed_corpus.indexes):
+        pre = ix._sketch
+        assert pre is not None  # attach populated it, no lazy build needed
+        ref = sketch_of(fresh_ix)
+        assert pre.stem_ids == ref.stem_ids
+        assert pre.dfs == ref.dfs
+        assert pre.pfs == ref.pfs
+        assert pre.n_documents == ref.n_documents
+        assert pre.n_paragraphs == ref.n_paragraphs
+
+
+def test_sketch_remap_roundtrip_under_non_prefix_vocabulary(shared_corpus):
+    fresh = [CollectionIndex(c) for c in shared_corpus.collections]
+    payload = pickle.loads(pickle.dumps(indexes_to_payload(fresh)))
+    warm = Vocabulary(["zz_unrelated", "yy_other"])  # forces the remap path
+    assert not warm.matches_prefix(payload["vocab_table"])
+    attached = attach_payload(shared_corpus, payload, vocabulary=warm)
+    for ix in attached:
+        remapped = ix._sketch
+        assert remapped is not None
+        ix._sketch = None  # force a fresh derivation under the new vocab
+        rebuilt = build_sketch(ix)
+        assert remapped.stem_ids == rebuilt.stem_ids
+        assert remapped.dfs == rebuilt.dfs
+        assert remapped.pfs == rebuilt.pfs
+
+
+def test_sketch_remapped_resorts_parallel_arrays():
+    sk = CollectionSketch(
+        collection_id=0,
+        stem_ids=array("i", [0, 1, 2]),
+        dfs=array("I", [10, 20, 30]),
+        pfs=array("I", [1, 2, 3]),
+        n_documents=4,
+        n_paragraphs=9,
+    )
+    # Reverse the numbering: old id 0 -> 7, 1 -> 5, 2 -> 3.
+    out = sk.remapped([7, 5, 3])
+    assert list(out.stem_ids) == [3, 5, 7]
+    assert list(out.dfs) == [30, 20, 10]
+    assert list(out.pfs) == [3, 2, 1]
+    assert out.df_by_id(7) == 10 and out.pf_by_id(3) == 3
+
+
+# -- the shared collection-ids defaulting helper -----------------------------------
+
+
+def test_resolve_collections_explicit_ids_win(shared_indexed_corpus):
+    selector = shared_indexed_corpus.selector(mode="exact")
+    ids, decision = resolve_collections(3, [2], selector=selector, keywords=[])
+    assert ids == [2] and decision is None
+
+
+def test_resolve_collections_defaults_to_all_without_selector():
+    ids, decision = resolve_collections(4, None)
+    assert ids == [0, 1, 2, 3] and decision is None
